@@ -1,0 +1,55 @@
+"""Extension: foveated rendering stacked on top of OO-VR.
+
+Foveation cuts fragment-shading work by eccentricity; OO-VR cuts
+inter-GPM traffic by locality.  The two are orthogonal, so their
+speedups should (approximately) compose — this bench measures the
+stack on the pixel-heavy workloads where foveation has the most to
+save.
+"""
+
+from benchmarks.conftest import BENCH, record_output
+from repro.extensions.foveated import FoveationConfig, foveate_scene
+from repro.experiments.runner import scene_for
+from repro.frameworks.base import build_framework
+from repro.stats.metrics import geomean
+
+WORKLOADS = ("DM3-1600", "HL2-1600", "NFS")
+PROFILE = FoveationConfig()
+
+
+def run_foveated():
+    rows = []
+    stacked_gains = []
+    for workload in WORKLOADS:
+        scene = scene_for(workload, BENCH)
+        foveated = foveate_scene(scene, PROFILE)
+        base = build_framework("baseline").render_scene(scene)
+        oovr = build_framework("oo-vr").render_scene(scene)
+        oovr_fov = build_framework("oo-vr").render_scene(foveated)
+        s_oovr = base.single_frame_cycles / oovr.single_frame_cycles
+        s_stack = base.single_frame_cycles / oovr_fov.single_frame_cycles
+        stacked_gains.append(s_stack / s_oovr)
+        rows.append(
+            f"{workload:<10}{s_oovr:>12.2f}{s_stack:>14.2f}"
+            f"{s_stack / s_oovr:>14.2f}"
+        )
+    gain = geomean(stacked_gains)
+    text = "\n".join(
+        [
+            "Extension E5: foveated rendering stacked on OO-VR "
+            "(speedup over baseline)",
+            f"profile: fovea r={PROFILE.fovea_radius} rate={PROFILE.fovea_rate}, "
+            f"mid r={PROFILE.mid_radius} rate={PROFILE.mid_rate}, "
+            f"periphery rate={PROFILE.periphery_rate}",
+            f"{'workload':<10}{'oo-vr':>12}{'oo-vr+fov':>14}{'fov gain':>14}",
+            *rows,
+            f"geomean foveation gain on top of OO-VR: {gain:.2f}x",
+        ]
+    )
+    return text, gain
+
+
+def test_ext_foveated(bench_once):
+    text, gain = bench_once(run_foveated)
+    record_output("ext_foveated", text)
+    assert gain > 1.0

@@ -1,0 +1,16 @@
+"""Figure 4: baseline performance vs. inter-GPM link bandwidth.
+
+Paper: 22% / 42% / 65% average degradation at 128 / 64 / 32 GB/s
+relative to 1 TB/s links.
+"""
+
+from benchmarks.conftest import BENCH, record_output
+from repro.experiments import figures
+
+
+def test_fig04(bench_once):
+    result = bench_once(figures.fig04_bandwidth_sensitivity, BENCH)
+    record_output("fig04", result.to_text())
+    series = [result.average(c) for c in result.series]
+    assert series == sorted(series, reverse=True)
+    assert result.average("64GB/s") < 0.8

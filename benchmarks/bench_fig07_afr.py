@@ -1,0 +1,11 @@
+"""Figure 7: AFR overall performance (1.67x) and frame latency (+59%)."""
+
+from benchmarks.conftest import BENCH, record_output
+from repro.experiments import figures
+
+
+def test_fig07(bench_once):
+    result = bench_once(figures.fig07_afr, BENCH)
+    record_output("fig07", result.to_text())
+    assert result.average("overall perf") > 1.3
+    assert result.average("frame latency") > 1.3

@@ -1,0 +1,13 @@
+"""Figure 8: SFR performance (tile-V 1.28x, tile-H 1.03x, object 1.60x)."""
+
+from benchmarks.conftest import BENCH, record_output
+from repro.experiments import figures
+
+
+def test_fig08(bench_once):
+    result = bench_once(figures.fig08_sfr_performance, BENCH)
+    record_output("fig08", result.to_text())
+    assert (
+        result.average("Object-Level")
+        > result.average("Tile-Level (H)")
+    )

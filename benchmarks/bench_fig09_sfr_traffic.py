@@ -1,0 +1,11 @@
+"""Figure 9: SFR inter-GPM traffic (tile-V 1.50x, tile-H 1.44x, object 0.60x)."""
+
+from benchmarks.conftest import BENCH, record_output
+from repro.experiments import figures
+
+
+def test_fig09(bench_once):
+    result = bench_once(figures.fig09_sfr_traffic, BENCH)
+    record_output("fig09", result.to_text())
+    assert result.average("Tile-Level (V)") > 1.0
+    assert result.average("Object-Level") < 0.8

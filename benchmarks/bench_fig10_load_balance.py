@@ -1,0 +1,10 @@
+"""Figure 10: object-level SFR best-to-worst GPM performance ratio."""
+
+from benchmarks.conftest import BENCH, record_output
+from repro.experiments import figures
+
+
+def test_fig10(bench_once):
+    result = bench_once(figures.fig10_load_balance, BENCH)
+    record_output("fig10", result.to_text())
+    assert result.average("best-to-worst") > 1.1

@@ -1,0 +1,20 @@
+"""Figure 15: single-frame speedup of every design point vs. baseline.
+
+The paper's mutually consistent numbers: OO_APP ~2x baseline, OO-VR
+~1.5-1.6x on top of OO_APP and ~2x over object-level SFR.
+"""
+
+from benchmarks.conftest import BENCH, record_output
+from repro.experiments import figures
+
+
+def test_fig15(bench_once):
+    result = bench_once(figures.fig15_oovr_speedup, BENCH)
+    record_output("fig15", result.to_text())
+    assert (
+        result.average("OOVR")
+        > result.average("OO_APP")
+        > result.average("Object-Level")
+        > 1.0
+        > result.average("Frame-Level")
+    )

@@ -1,0 +1,10 @@
+"""Figure 16: inter-GPM traffic (object 0.60x, OO-VR 0.24x of baseline)."""
+
+from benchmarks.conftest import BENCH, record_output
+from repro.experiments import figures
+
+
+def test_fig16(bench_once):
+    result = bench_once(figures.fig16_oovr_traffic, BENCH)
+    record_output("fig16", result.to_text())
+    assert result.average("OOVR") < result.average("Object-Level") < 1.0

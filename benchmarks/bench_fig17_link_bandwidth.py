@@ -1,0 +1,12 @@
+"""Figure 17: sensitivity of the design points to link bandwidth."""
+
+from benchmarks.conftest import BENCH, record_output
+from repro.experiments import figures
+
+
+def test_fig17(bench_once):
+    result = bench_once(figures.fig17_link_bandwidth, BENCH)
+    record_output("fig17", result.to_text())
+    oovr = result.series["OOVR"]
+    base = result.series["Baseline"]
+    assert oovr["256GB/s"] / oovr["32GB/s"] < base["256GB/s"] / base["32GB/s"]

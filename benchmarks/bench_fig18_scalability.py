@@ -1,0 +1,15 @@
+"""Figure 18: speedup over a single GPM for 1/2/4/8 GPM systems.
+
+Paper: baseline 2.08x and object-level 3.47x at 8 GPMs; OO-VR 3.64x at
+4 GPMs and 6.27x at 8 GPMs.
+"""
+
+from benchmarks.conftest import BENCH, record_output
+from repro.experiments import figures
+
+
+def test_fig18(bench_once):
+    result = bench_once(figures.fig18_scalability, BENCH)
+    record_output("fig18", result.to_text())
+    assert result.series["OOVR"]["8 GPM"] > result.series["Baseline"]["8 GPM"]
+    assert result.series["OOVR"]["4 GPM"] > 2.0

@@ -1,0 +1,14 @@
+"""Section 5.4: distribution-engine storage/area/power accounting."""
+
+from benchmarks.conftest import record_output
+from repro.core.overhead import OverheadModel
+
+
+def test_overhead(bench_once):
+    model = OverheadModel()
+    text = bench_once(model.report)
+    record_output("overhead", text)
+    # The paper's anchor: ~0.59 mm^2 and ~0.3 W at ~1000 bits of state,
+    # well below 0.5% of a GTX 1080 on both axes.
+    assert model.area_fraction_of_gtx1080 < 0.005
+    assert model.power_fraction_of_gtx1080_tdp < 0.005

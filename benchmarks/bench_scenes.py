@@ -1,0 +1,53 @@
+"""Shared 3D scenes for the executed-pipeline benches.
+
+Not a bench itself: pytest collects only ``bench_*`` files listed in the
+``python_files`` default (``test_*``), so this module is a plain helper
+imported by the Fig. 5 bench and the validation bench.
+"""
+
+from repro.render import (
+    SceneObject3D,
+    make_box,
+    make_checker_ground,
+    make_cylinder,
+    make_icosphere,
+    rotate_y,
+    translate,
+)
+from repro.render.raster import checker_shader
+
+
+def build_temple_scene():
+    """The example temple: pillars sharing 'stone' (Fig. 12's pairing)."""
+    stone = checker_shader((205, 185, 150), (130, 110, 80), tiles=5)
+    return [
+        SceneObject3D(
+            "ground",
+            make_checker_ground(12.0, 8),
+            translate(0, 0, 0),
+            checker_shader((95, 115, 95), (45, 65, 45), tiles=1),
+            "grass",
+        ),
+        SceneObject3D(
+            "pillar1", make_cylinder(0.32, 2.4, 20), translate(-1.4, 0, -0.4),
+            stone, "stone",
+        ),
+        SceneObject3D(
+            "pillar2", make_cylinder(0.32, 2.4, 20), translate(1.4, 0, -0.4),
+            stone, "stone",
+        ),
+        SceneObject3D(
+            "orb",
+            make_icosphere(0.45, 2),
+            translate(0.0, 1.35, -0.8),
+            checker_shader((225, 70, 70), (150, 25, 25), tiles=7),
+            "orb",
+        ),
+        SceneObject3D(
+            "crate",
+            make_box(0.9, 0.9, 0.9),
+            translate(0.3, 0.45, 1.1) @ rotate_y(0.6),
+            checker_shader((165, 120, 70), (100, 65, 35), tiles=2),
+            "wood",
+        ),
+    ]

@@ -1,0 +1,44 @@
+"""Micro-benchmarks of the simulator itself (not a paper figure).
+
+Tracks the cost of the hot paths — draw characterisation, NUMA-resolved
+unit execution, and a full OO-VR frame — so performance regressions in
+the simulator are visible in CI.
+"""
+
+from benchmarks.conftest import BENCH
+from repro.frameworks.base import build_framework
+from repro.experiments.runner import scene_for
+from repro.gpu.system import MultiGPUSystem
+from repro.pipeline.smp import SMPMode
+
+
+def test_characterize_draw(benchmark):
+    scene = scene_for("HL2-1280", BENCH)
+    fw = build_framework("baseline")
+    draw = scene.frames[0].objects[0].multiview_draw()
+    benchmark(fw.characterizer.characterize, draw, SMPMode.SIMULTANEOUS)
+
+
+def test_execute_unit(benchmark):
+    scene = scene_for("HL2-1280", BENCH)
+    fw = build_framework("baseline")
+    unit = fw.characterizer.characterize(
+        scene.frames[0].objects[0].multiview_draw()
+    )
+    system = MultiGPUSystem(fw.config)
+    system.begin_frame()
+
+    def run():
+        system.execute_unit(unit, 0, fb_targets={0: 1.0})
+
+    benchmark(run)
+
+
+def test_oovr_full_frame(benchmark):
+    scene = scene_for("HL2-1280", BENCH)
+    fw = build_framework("oo-vr")
+
+    def run():
+        return fw.render_frame(scene.frames[0], "HL2-1280")
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,10 @@
+"""Section 3 / Figure 5 context: SMP vs. sequential stereo (~27% gain)."""
+
+from benchmarks.conftest import BENCH, record_output
+from repro.experiments import figures
+
+
+def test_smp_validation(bench_once):
+    result = bench_once(figures.smp_validation, BENCH)
+    record_output("smp_validation", result.to_text())
+    assert 1.1 <= result.average("SMP speedup") <= 1.6

@@ -1,0 +1,10 @@
+"""Table 1: PC gaming vs. stereo VR display requirements."""
+
+from benchmarks.conftest import record_output
+from repro.experiments import tables
+
+
+def test_table1(bench_once):
+    text = bench_once(tables.table1_requirements)
+    record_output("table1", text)
+    assert "Stereo HMD" in text

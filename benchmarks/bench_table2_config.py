@@ -1,0 +1,10 @@
+"""Table 2: the baseline multi-GPU configuration."""
+
+from benchmarks.conftest import record_output
+from repro.experiments import tables
+
+
+def test_table2(bench_once):
+    text = bench_once(tables.table2_configuration)
+    record_output("table2", text)
+    assert "64GB/s NVLink" in text

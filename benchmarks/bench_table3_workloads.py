@@ -1,0 +1,10 @@
+"""Table 3: the five-game benchmark suite with measured statistics."""
+
+from benchmarks.conftest import BENCH, record_output
+from repro.experiments import tables
+
+
+def test_table3(bench_once):
+    text = bench_once(tables.table3_benchmarks, BENCH)
+    record_output("table3", text)
+    assert "Doom 3" in text and "1697" in text

@@ -1,0 +1,46 @@
+"""Shared benchmark harness configuration.
+
+Every bench regenerates one of the paper's tables or figures at **full
+workload scale** (Table 3 draw counts, 3 frames per scene) and
+
+- prints the series the paper plots, next to the paper's reported
+  values, and
+- writes the same text to ``benchmarks/output/<name>.txt``.
+
+``pytest-benchmark`` times one full regeneration per figure
+(``pedantic(rounds=1)``): the numbers of interest are the figure's
+values, not the wall-clock, but the timing documents simulation cost.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+
+#: Full-scale experiment configuration used by every bench.
+BENCH = ExperimentConfig(draw_scale=1.0, num_frames=3)
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def record_output(name: str, text: str) -> None:
+    """Print a figure's text and persist it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run a figure generator exactly once under the benchmark timer."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return run

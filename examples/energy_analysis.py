@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Energy analysis: traffic reduction as an energy win (Section 6.2).
+
+The paper argues that cutting inter-GPM traffic saves energy directly —
+10 pJ/bit on-board, 250 pJ/bit across nodes.  This example runs three
+schemes on one workload and prices every frame with the full energy
+model (links + DRAM + SM compute + OO-VR's 0.3 W distribution engine),
+at both integration points.
+
+Run:  python examples/energy_analysis.py [workload]
+"""
+
+import sys
+
+from repro.energy import (
+    EnergyConstants,
+    EnergyModel,
+    IntegrationPoint,
+    scene_energy,
+)
+from repro.experiments.runner import ExperimentConfig, scene_for
+from repro.frameworks.base import build_framework
+
+SCHEMES = ("baseline", "object", "oo-vr")
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "NFS"
+    experiment = ExperimentConfig(draw_scale=0.5, num_frames=3)
+    scene = scene_for(workload, experiment)
+    print(f"workload {workload}: {scene.num_draws} draws/frame\n")
+
+    results = {
+        scheme: build_framework(scheme).render_scene(scene)
+        for scheme in SCHEMES
+    }
+
+    for point in IntegrationPoint:
+        model = EnergyModel(EnergyConstants.for_integration(point))
+        print(
+            f"integration: {point.value} "
+            f"({point.picojoules_per_bit:.0f} pJ/bit links)"
+        )
+        print(f"{'scheme':<10}{'link mJ':>9}{'dram mJ':>9}{'sm mJ':>9}"
+              f"{'engine mJ':>11}{'total mJ':>10}")
+        for scheme in SCHEMES:
+            e = scene_energy(results[scheme], model).per_frame
+            print(
+                f"{scheme:<10}{e.link_joules * 1e3:>9.2f}"
+                f"{e.dram_joules * 1e3:>9.2f}{e.compute_joules * 1e3:>9.2f}"
+                f"{e.engine_joules * 1e3:>11.4f}{e.millijoules:>10.2f}"
+            )
+        base = scene_energy(results["baseline"], model).per_frame
+        oovr = scene_energy(results["oo-vr"], model).per_frame
+        saved = 1.0 - oovr.link_joules / base.link_joules
+        print(f"OO-VR saves {100 * saved:.0f}% of link energy here\n")
+
+
+if __name__ == "__main__":
+    main()

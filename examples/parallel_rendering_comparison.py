@@ -1,0 +1,54 @@
+"""Compare every parallel rendering framework on one VR workload.
+
+Reproduces the flavour of the paper's Sections 4-6 in one table: for a
+chosen workload, renders the scene under all eight schemes and reports
+single-frame latency, steady-state frame rate, inter-GPM traffic and
+GPM load balance.  Use a different workload with e.g.
+
+    python examples/parallel_rendering_comparison.py NFS
+"""
+
+import sys
+
+from repro import build_framework, framework_names, workload_scene
+from repro.stats.reporting import format_table
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "DM3-1280"
+    scene = workload_scene(workload, num_frames=4)
+    print(f"workload {workload}: {scene.num_draws} draws/frame\n")
+
+    rows = []
+    baseline_cycles = None
+    for name in framework_names():
+        result = build_framework(name).render_scene(scene)
+        if name == "baseline":
+            baseline_cycles = result.single_frame_cycles
+        rows.append(
+            (
+                name,
+                result.single_frame_cycles / 1e6,
+                result.throughput_fps,
+                result.mean_inter_gpm_bytes_per_frame / 1e6,
+                result.mean_load_balance_ratio,
+            )
+        )
+
+    # Normalise latency to the baseline, the way the paper's bars do.
+    assert baseline_cycles is not None
+    table_rows = [
+        (name, mcyc, baseline_cycles / (mcyc * 1e6), fps, mb, bal)
+        for name, mcyc, fps, mb, bal in rows
+    ]
+    print(
+        format_table(
+            ("scheme", "Mcycles", "speedup", "FPS@1GHz", "MB/frame", "imbalance"),
+            table_rows,
+            title=f"Parallel rendering schemes on {workload}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

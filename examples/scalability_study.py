@@ -1,0 +1,47 @@
+"""Scalability study: Fig. 18 as a library-use example.
+
+Sweeps the GPM count (1, 2, 4, 8) for the baseline, object-level SFR
+and OO-VR, normalised to a single GPM — the paper's future-larger-
+multi-GPU argument.  OO-VR keeps scaling because its working sets stay
+local; the baseline saturates on the links.
+"""
+
+from repro import baseline_system, build_framework, workload_scene
+from repro.stats.metrics import geomean
+from repro.stats.reporting import series_table
+
+WORKLOADS = ("DM3-1280", "HL2-1280", "NFS")
+SCHEMES = ("baseline", "object", "oo-vr")
+GPM_COUNTS = (1, 2, 4, 8)
+
+
+def mean_frame_cycles(name: str, num_gpms: int) -> float:
+    config = baseline_system(num_gpms=num_gpms)
+    cycles = []
+    for workload in WORKLOADS:
+        scene = workload_scene(workload, num_frames=2, draw_scale=0.5)
+        result = build_framework(name, config).render_scene(scene)
+        cycles.append(result.single_frame_cycles)
+    return geomean(cycles)
+
+
+def main() -> None:
+    reference = mean_frame_cycles("baseline", 1)
+    series = {scheme: {} for scheme in SCHEMES}
+    for count in GPM_COUNTS:
+        for scheme in SCHEMES:
+            speedup = reference / mean_frame_cycles(scheme, count)
+            series[scheme][f"{count} GPM"] = speedup
+    print(
+        series_table(
+            series,
+            [f"{c} GPM" for c in GPM_COUNTS],
+            title="Speedup over a single GPM (cf. paper Fig. 18)",
+            row_header="system size",
+        )
+    )
+    print("\npaper reference @8 GPMs: baseline 2.08x, object 3.47x, OO-VR 6.27x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""OO-VR reproduction: NUMA-friendly object-oriented VR rendering.
+
+A cycle-approximate simulator of NUMA-based multi-GPU systems running
+stereo VR rendering, reproducing Xie et al., *OO-VR* (ISCA 2019):
+
+- the multi-GPU substrate (GPMs, NVLink fabric, NUMA page placement);
+- the four-step SMP rendering pipeline;
+- the parallel rendering baselines (AFR, tile-SFR, object-SFR);
+- the OO-VR contribution (programming model, TSL batching, runtime
+  distribution engine, distributed hardware composition).
+
+Quickstart::
+
+    from repro import baseline_system, build_framework, workload_scene
+
+    scene = workload_scene("HL2-1280")
+    oovr = build_framework("oo-vr")
+    result = oovr.render_scene(scene)
+    print(result.single_frame_cycles, result.traffic.total_bytes)
+"""
+
+from repro.config import (
+    CostModel,
+    GPMConfig,
+    LinkConfig,
+    SMConfig,
+    SystemConfig,
+    baseline_system,
+    single_gpu_system,
+)
+from repro.frameworks import build_framework, framework_names
+from repro.scene import (
+    BENCHMARKS,
+    WORKLOADS,
+    Frame,
+    RenderObject,
+    Scene,
+    make_benchmark_scene,
+    workload_scene,
+)
+from repro.core import (
+    OOApplication,
+    OOMiddleware,
+    OverheadModel,
+    RenderingTimePredictor,
+    texture_sharing_level,
+)
+from repro.stats import FrameResult, SceneResult, geomean, normalize
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "CostModel",
+    "GPMConfig",
+    "LinkConfig",
+    "SMConfig",
+    "SystemConfig",
+    "baseline_system",
+    "single_gpu_system",
+    "build_framework",
+    "framework_names",
+    "BENCHMARKS",
+    "WORKLOADS",
+    "Frame",
+    "RenderObject",
+    "Scene",
+    "make_benchmark_scene",
+    "workload_scene",
+    "OOApplication",
+    "OOMiddleware",
+    "OverheadModel",
+    "RenderingTimePredictor",
+    "texture_sharing_level",
+    "FrameResult",
+    "SceneResult",
+    "geomean",
+    "normalize",
+    "__version__",
+]

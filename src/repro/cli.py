@@ -1,0 +1,288 @@
+"""Command-line interface: ``oovr``.
+
+Examples::
+
+    oovr fig 15                 # reproduce Figure 15 (full workloads)
+    oovr fig 4 --fast           # quick pass with scaled-down scenes
+    oovr table 3                # print Table 3
+    oovr overhead               # Section 5.4 overhead analysis
+    oovr run oo-vr HL2-1280     # run one framework on one workload
+    oovr list                   # list frameworks and workloads
+    oovr trace record WE we.json.gz   # capture a workload as a trace
+    oovr trace info we.json.gz        # profile a captured trace
+    oovr trace replay we.json.gz oo-vr  # render a trace with a framework
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments import figures, tables
+from repro.experiments.runner import FAST, FULL, scene_for
+from repro.frameworks.base import build_framework, framework_names
+from repro.scene.benchmarks import WORKLOADS
+from repro.trace import load_scene, profile_scene, save_scene
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    key = args.number
+    if key not in figures.FIGURES:
+        print(
+            f"unknown figure {key!r}; have {sorted(figures.FIGURES)}",
+            file=sys.stderr,
+        )
+        return 2
+    experiment = FAST if args.fast else FULL
+    result = figures.FIGURES[key](experiment)
+    print(result.to_text())
+    if args.chart:
+        print()
+        print(result.to_chart())
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    experiment = FAST if args.fast else FULL
+    if args.number == "1":
+        print(tables.table1_requirements())
+    elif args.number == "2":
+        print(tables.table2_configuration())
+    elif args.number == "3":
+        print(tables.table3_benchmarks(experiment))
+    else:
+        print(f"unknown table {args.number!r}; have 1/2/3", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    print(tables.overhead_analysis(num_gpms=args.gpms))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    experiment = FAST if args.fast else FULL
+    framework = build_framework(args.framework)
+    scene = scene_for(args.workload, experiment)
+    result = framework.render_scene(scene)
+    frame = result.frames[0]
+    print(f"framework       : {result.framework}")
+    print(f"workload        : {result.workload}")
+    print(f"single frame    : {frame.cycles / 1e6:.3f} Mcycles "
+          f"({frame.latency_ms():.3f} ms @1GHz)")
+    print(f"frame interval  : {result.frame_interval_cycles / 1e6:.3f} Mcycles")
+    print(f"throughput      : {result.throughput_fps:.1f} FPS @1GHz")
+    print(f"inter-GPM bytes : {frame.inter_gpm_bytes / (1024 * 1024):.2f} MB/frame")
+    print(f"load balance    : {frame.load_balance_ratio:.3f} (worst/best GPM)")
+    print(f"composition     : {frame.composition_cycles / 1e3:.1f} Kcycles")
+    print("traffic by type :")
+    for traffic, nbytes in sorted(
+        frame.traffic.by_type.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {traffic.value:<12} {nbytes / (1024 * 1024):8.2f} MB")
+    engine = getattr(framework, "last_engine", None)
+    if engine is not None and engine.records:
+        from repro.stats.timeline import dispatch_timeline
+
+        print("dispatch timeline (last frame):")
+        print(dispatch_timeline(engine.records, framework.config.num_gpms))
+    return 0
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    experiment = FAST if args.fast else FULL
+    scene = scene_for(args.workload, experiment)
+    path = save_scene(scene, args.path)
+    profile = profile_scene(scene).representative
+    print(
+        f"captured {args.workload} -> {path} "
+        f"({profile.num_objects} objects/frame, {len(scene)} frames)"
+    )
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    scene = load_scene(args.path)
+    print(profile_scene(scene).table())
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    scene = load_scene(args.path)
+    framework = build_framework(args.framework)
+    result = framework.render_scene(scene)
+    frame = result.frames[0]
+    print(f"replayed {scene.name} under {result.framework}")
+    print(f"single frame    : {frame.cycles / 1e6:.3f} Mcycles "
+          f"({frame.latency_ms():.3f} ms @1GHz)")
+    print(f"inter-GPM bytes : {frame.inter_gpm_bytes / (1024 * 1024):.2f} MB/frame")
+    print(f"load balance    : {frame.load_balance_ratio:.3f} (worst/best GPM)")
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from repro.energy import (
+        EnergyConstants,
+        EnergyModel,
+        IntegrationPoint,
+        scene_energy,
+    )
+
+    experiment = FAST if args.fast else FULL
+    point = (
+        IntegrationPoint.CROSS_NODE if args.nodes else IntegrationPoint.ON_BOARD
+    )
+    model = EnergyModel(EnergyConstants.for_integration(point))
+    scene = scene_for(args.workload, experiment)
+    print(
+        f"energy per frame on {args.workload} "
+        f"({point.value}, {point.picojoules_per_bit:.0f} pJ/bit):"
+    )
+    print(f"{'scheme':<12}{'link mJ':>9}{'dram mJ':>9}{'sm mJ':>9}"
+          f"{'engine mJ':>11}{'total mJ':>10}")
+    for scheme in ("baseline", "object", "oo-vr"):
+        result = build_framework(scheme).render_scene(scene)
+        e = scene_energy(result, model).per_frame
+        print(
+            f"{scheme:<12}{e.link_joules * 1e3:>9.2f}"
+            f"{e.dram_joules * 1e3:>9.2f}{e.compute_joules * 1e3:>9.2f}"
+            f"{e.engine_joules * 1e3:>11.4f}{e.millijoules:>10.2f}"
+        )
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.render import (
+        Camera,
+        SceneObject3D,
+        StereoCamera,
+        StereoRenderer,
+        StereoRenderMode,
+        make_box,
+        make_checker_ground,
+        make_cylinder,
+        make_icosphere,
+        rotate_y,
+        translate,
+    )
+
+    camera = StereoCamera(
+        Camera(position=(0.0, 1.6, 4.2), target=(0.0, 1.0, 0.0), aspect=1.0),
+        ipd=0.12,
+    )
+    objects = [
+        SceneObject3D("ground", make_checker_ground(12.0, 8), translate(0, 0, 0)),
+        SceneObject3D(
+            "pillar1", make_cylinder(0.32, 2.4, 20), translate(-1.4, 0, -0.4)
+        ),
+        SceneObject3D(
+            "pillar2", make_cylinder(0.32, 2.4, 20), translate(1.4, 0, -0.4)
+        ),
+        SceneObject3D("orb", make_icosphere(0.45, 2), translate(0, 1.35, -0.8)),
+        SceneObject3D(
+            "crate", make_box(0.9, 0.9, 0.9),
+            translate(0.3, 0.45, 1.1) @ rotate_y(0.6),
+        ),
+    ]
+    renderer = StereoRenderer(camera, args.size, args.size)
+    packed, stats = renderer.render(objects, StereoRenderMode.SMP)
+    out = pathlib.Path(args.out)
+    packed.write_ppm(out / "stereo.ppm")
+    packed.write_png(out / "stereo.png")
+    print(stats.summary())
+    print(f"wrote {out}/stereo.ppm and {out}/stereo.png")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("frameworks:")
+    for name in framework_names():
+        print(f"  {name}")
+    print("workloads:")
+    for name in WORKLOADS:
+        print(f"  {name}")
+    print("figures:", ", ".join(sorted(figures.FIGURES)))
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="oovr",
+        description="OO-VR (ISCA 2019) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("fig", help="reproduce a figure")
+    fig.add_argument("number", help="figure id (4, 7, 8, 9, 10, 15-18, smp)")
+    fig.add_argument("--fast", action="store_true", help="scaled-down scenes")
+    fig.add_argument(
+        "--chart", action="store_true", help="also draw a terminal bar chart"
+    )
+    fig.set_defaults(func=_cmd_fig)
+
+    table = sub.add_parser("table", help="reproduce a table")
+    table.add_argument("number", help="table id (1, 2, 3)")
+    table.add_argument("--fast", action="store_true")
+    table.set_defaults(func=_cmd_table)
+
+    overhead = sub.add_parser("overhead", help="Section 5.4 overheads")
+    overhead.add_argument("--gpms", type=int, default=4)
+    overhead.set_defaults(func=_cmd_overhead)
+
+    run = sub.add_parser("run", help="run one framework on one workload")
+    run.add_argument("framework")
+    run.add_argument("workload")
+    run.add_argument("--fast", action="store_true")
+    run.set_defaults(func=_cmd_run)
+
+    trace = sub.add_parser("trace", help="capture/inspect/replay traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_sub.add_parser("record", help="capture a workload")
+    record.add_argument("workload")
+    record.add_argument("path", help="output .json or .json.gz")
+    record.add_argument("--fast", action="store_true")
+    record.set_defaults(func=_cmd_trace_record)
+
+    info = trace_sub.add_parser("info", help="profile a trace file")
+    info.add_argument("path")
+    info.set_defaults(func=_cmd_trace_info)
+
+    replay = trace_sub.add_parser("replay", help="render a trace")
+    replay.add_argument("path")
+    replay.add_argument("framework")
+    replay.set_defaults(func=_cmd_trace_replay)
+
+    energy = sub.add_parser("energy", help="Section 6.2 energy accounting")
+    energy.add_argument("workload")
+    energy.add_argument("--fast", action="store_true")
+    energy.add_argument(
+        "--nodes", action="store_true",
+        help="price links at 250 pJ/bit (cross-node) instead of 10 (board)",
+    )
+    energy.set_defaults(func=_cmd_energy)
+
+    render = sub.add_parser(
+        "render", help="render a real stereo frame (Fig. 5) to PPM/PNG"
+    )
+    render.add_argument("out", help="output directory")
+    render.add_argument("--size", type=int, default=320, help="pixels per eye")
+    render.set_defaults(func=_cmd_render)
+
+    lst = sub.add_parser("list", help="list frameworks/workloads/figures")
+    lst.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""OO-VR: the paper's contribution (Section 5).
+
+- :mod:`repro.core.tsl` — texture sharing level, Eq. 1;
+- :mod:`repro.core.programming_model` — the object-oriented VR
+  programming model (``OO_Application``): per-object viewport pairs,
+  ``GL_OVR_multiview2``-style multi-view draws, and the auto mode that
+  stereo-projects conventional content;
+- :mod:`repro.core.middleware` — ``OO_Middleware``: TSL-driven object
+  grouping into batches with the 4096-triangle cap and dependency
+  merging (Fig. 12);
+- :mod:`repro.core.predictor` — the Eq. 3 linear memorisation model and
+  its two-counter total/elapsed time tracking;
+- :mod:`repro.core.distribution` — the object-aware runtime batch
+  distribution engine: first-8-batch calibration, earliest-available
+  dispatch, PA-unit pre-allocation, fine-grained straggler splitting;
+- :mod:`repro.core.oovr` — the two registered frameworks: ``oo-app``
+  (software-only programming model) and ``oo-vr`` (full co-design with
+  the distribution engine and distributed hardware composition);
+- :mod:`repro.core.overhead` — Section 5.4's storage/area/power
+  accounting of the added hardware.
+"""
+
+from repro.core.tsl import texture_sharing_level
+from repro.core.programming_model import OOApplication, OOObjectBuilder
+from repro.core.middleware import Batch, OOMiddleware
+from repro.core.predictor import RenderingTimePredictor
+from repro.core.distribution import DistributionEngine
+from repro.core.oovr import OOAppFramework, OOVRFramework
+from repro.core.overhead import OverheadModel
+
+__all__ = [
+    "texture_sharing_level",
+    "OOApplication",
+    "OOObjectBuilder",
+    "Batch",
+    "OOMiddleware",
+    "RenderingTimePredictor",
+    "DistributionEngine",
+    "OOAppFramework",
+    "OOVRFramework",
+    "OverheadModel",
+]

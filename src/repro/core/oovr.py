@@ -1,0 +1,123 @@
+"""The OO-VR rendering frameworks (Fig. 11's full stack).
+
+Two registered schemes, matching the paper's evaluation design points:
+
+- ``oo-app`` — **OO_APP**: the object-oriented programming model alone.
+  Objects become SMP multi-view draws, the middleware groups them into
+  TSL batches, but distribution stays software-level: batches round-
+  robin across GPMs in programmer order (master-slave), and the final
+  frame composes on the master's ROPs.  This isolates the software
+  contribution: texture sharing between eyes and across batched
+  objects, with the load imbalance left in.
+- ``oo-vr`` — the full co-design: OO_APP plus the object-aware runtime
+  distribution engine (Eq. 3 prediction, PA pre-allocation, straggler
+  splitting) and the distributed hardware composition unit (DHC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.core.distribution import DistributionEngine
+from repro.core.middleware import Batch, OOMiddleware
+from repro.core.predictor import RenderingTimePredictor
+from repro.frameworks.base import RenderingFramework, register_framework
+from repro.gpu.composition import compose_distributed, compose_master
+from repro.gpu.staging import StagingManager
+from repro.gpu.system import MultiGPUSystem
+from repro.memory.placement import PlacementPolicy
+from repro.pipeline.smp import SMPMode
+from repro.pipeline.workunit import WorkUnit, merge_units
+from repro.scene.scene import Frame
+from repro.stats.metrics import FrameResult
+
+
+class _BatchBuilder:
+    """Shared OO_APP front end: frame -> (batch, merged work unit)."""
+
+    def __init__(self, framework: RenderingFramework) -> None:
+        self._framework = framework
+        self._middleware = OOMiddleware()
+
+    def build(self, frame: Frame) -> List[Tuple[Batch, WorkUnit]]:
+        characterize = self._framework.characterizer.characterize
+        discount = self._framework.config.cost.batch_draw_discount
+        batches = self._middleware.build_batches(frame.objects)
+        out: List[Tuple[Batch, WorkUnit]] = []
+        for batch in batches:
+            units = []
+            for obj in batch.objects:
+                draw = obj.multiview_draw()
+                units.append(characterize(draw, mode=SMPMode.SIMULTANEOUS))
+            merged = merge_units(f"batch{batch.batch_id}", tuple(units))
+            if len(batch.objects) > 1:
+                # Texture-sorted submission needs fewer state changes.
+                merged = replace(
+                    merged, draw_count=max(1.0, merged.draw_count * discount)
+                )
+            out.append((batch, merged))
+        return out
+
+
+@register_framework("oo-app")
+class OOAppFramework(RenderingFramework):
+    """OO_APP: programming model + middleware, software distribution."""
+
+    placement_policy = PlacementPolicy.FIRST_TOUCH
+    root: int = 0
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        super().__init__(config)
+        self._builder = _BatchBuilder(self)
+
+    def render_frame_on(
+        self, system: MultiGPUSystem, frame: Frame, workload: str
+    ) -> FrameResult:
+        num_gpms = system.num_gpms
+        rendered_pixels = [0.0] * num_gpms
+        # Software distribution extends object-level SFR: each batch's
+        # working set is staged to its GPM.  SMP and TSL grouping make
+        # the staged bytes far smaller than per-eye object staging, but
+        # the copies still stall the render (no PA units here).
+        staging = StagingManager(
+            system,
+            factor=self.config.cost.batch_stage_factor,
+            parallelism=self.config.cost.stage_parallelism,
+        )
+        staging.begin_frame()
+        for batch, unit in self._builder.build(frame):
+            # Master-slave software distribution: the next batch goes to
+            # whichever worker reported done first.  No prediction, no
+            # pre-allocation — big batches still strand stragglers.
+            gpm = min(range(num_gpms), key=lambda g: system.gpms[g].ready_at)
+            staging.stage_unit(unit, gpm)
+            system.execute_unit(
+                unit, gpm, fb_targets={gpm: 1.0}, command_source=self.root
+            )
+            rendered_pixels[gpm] += unit.pixels_out
+        compose_master(system, rendered_pixels, root=self.root)
+        return system.frame_result(self.name, workload)
+
+
+@register_framework("oo-vr")
+class OOVRFramework(RenderingFramework):
+    """The full OO-VR software/hardware co-design."""
+
+    placement_policy = PlacementPolicy.FIRST_TOUCH
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        super().__init__(config)
+        self._builder = _BatchBuilder(self)
+        #: The last frame's dispatch records, for diagnostics/tests.
+        self.last_engine: Optional[DistributionEngine] = None
+
+    def render_frame_on(
+        self, system: MultiGPUSystem, frame: Frame, workload: str
+    ) -> FrameResult:
+        engine = DistributionEngine(system, RenderingTimePredictor())
+        self.last_engine = engine
+        rendered_pixels = engine.dispatch(self._builder.build(frame))
+        compose_distributed(system, rendered_pixels)
+        return system.frame_result(self.name, workload)

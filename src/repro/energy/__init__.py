@@ -1,0 +1,33 @@
+"""Energy and power accounting.
+
+Section 6.2 of the paper argues OO-VR's traffic reduction is also an
+energy win ("10pj/bit for board or 250pj/bit for nodes based on
+different integration technologies"), and Section 5.4 prices the added
+distribution engine at 0.3 W / 0.59 mm² via McPAT.  This package turns
+those arguments into a measurable model:
+
+- :mod:`repro.energy.model` — per-component energy constants
+  (inter-GPM link, DRAM access, SM compute, ROP output) and the
+  :class:`EnergyModel` that folds a frame's byte/cycle counters into a
+  :class:`FrameEnergy` breakdown;
+- :mod:`repro.energy.report` — scene-level roll-ups and the
+  framework-comparison report behind the energy bench.
+"""
+
+from repro.energy.model import (
+    EnergyConstants,
+    EnergyModel,
+    FrameEnergy,
+    IntegrationPoint,
+)
+from repro.energy.report import SceneEnergy, compare_frameworks, scene_energy
+
+__all__ = [
+    "EnergyConstants",
+    "EnergyModel",
+    "FrameEnergy",
+    "IntegrationPoint",
+    "SceneEnergy",
+    "compare_frameworks",
+    "scene_energy",
+]

@@ -1,0 +1,24 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+:mod:`repro.experiments.runner` provides the shared machinery (run a
+framework over the workload suite, cache scene generation, normalise);
+:mod:`repro.experiments.figures` implements Figs. 4-18;
+:mod:`repro.experiments.tables` implements Tables 1-3 and the Section
+5.4 overhead analysis.  ``oovr`` (see :mod:`repro.cli`) prints any of
+them from the command line.
+"""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    run_framework_suite,
+    scene_for,
+)
+from repro.experiments import figures, tables
+
+__all__ = [
+    "ExperimentConfig",
+    "run_framework_suite",
+    "scene_for",
+    "figures",
+    "tables",
+]

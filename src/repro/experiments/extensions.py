@@ -1,0 +1,132 @@
+"""Extension experiments beyond the paper's figures.
+
+- :func:`oovr_ablation` — per-component contribution of OO-VR's
+  hardware mechanisms (the paper reports only the aggregate);
+- :func:`batching_sensitivity` — sweep of the middleware's TSL
+  threshold and triangle cap (Section 5.1's fixed 0.5 / 4096 choices);
+- :func:`energy_report` — link-traffic energy at the paper's quoted
+  pJ/bit figures (Section 6.2's energy-saving argument).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.config import baseline_system
+from repro.core.ablation import ablation_suite
+from repro.core.middleware import OOMiddleware
+from repro.core.oovr import OOVRFramework
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import (
+    FULL,
+    ExperimentConfig,
+    run_framework_suite,
+    scene_for,
+    single_frame_speedups,
+    with_average,
+)
+from repro.stats.metrics import geomean
+
+
+def oovr_ablation(experiment: ExperimentConfig = FULL) -> FigureResult:
+    """Speedup over baseline with each OO-VR mechanism disabled."""
+    baseline = run_framework_suite("baseline", experiment)
+    series: Dict[str, Mapping[str, float]] = {}
+    for key, framework_proto in ablation_suite().items():
+        results = {}
+        for workload in experiment.workloads:
+            framework = type(framework_proto)(
+                framework_proto.config, framework_proto.features
+            )
+            results[workload] = framework.render_scene(
+                scene_for(workload, experiment)
+            )
+        series[key] = with_average(single_frame_speedups(results, baseline))
+    return FigureResult(
+        figure="Ablation A1",
+        title="OO-VR speedup over baseline with components disabled",
+        series=series,
+        row_order=[*experiment.workloads, "Avg."],
+    )
+
+
+def batching_sensitivity(
+    experiment: ExperimentConfig = FULL,
+    workload: str = "HL2-1280",
+) -> FigureResult:
+    """Middleware parameter sweep: TSL threshold and triangle cap.
+
+    The paper fixes TSL > 0.5 and a 4096-triangle cap; this sweep shows
+    both sit on a plateau — smaller caps fragment batches (more
+    overhead, less locality), larger caps recreate object-SFR's
+    stragglers.
+    """
+    scene = scene_for(workload, experiment)
+    base = run_framework_suite(
+        "baseline",
+        ExperimentConfig(
+            draw_scale=experiment.draw_scale,
+            num_frames=experiment.num_frames,
+            seed=experiment.seed,
+            workloads=(workload,),
+        ),
+    )[workload]
+
+    thresholds = (0.1, 0.3, 0.5, 0.7, 0.9)
+    caps = (1024, 2048, 4096, 8192, 16384)
+
+    threshold_series: Dict[str, float] = {}
+    for threshold in thresholds:
+        framework = OOVRFramework()
+        framework._builder._middleware = OOMiddleware(tsl_threshold=threshold)
+        result = framework.render_scene(scene)
+        threshold_series[f"tsl>{threshold}"] = (
+            base.single_frame_cycles / result.single_frame_cycles
+        )
+
+    cap_series: Dict[str, float] = {}
+    for cap in caps:
+        framework = OOVRFramework()
+        framework._builder._middleware = OOMiddleware(triangle_limit=cap)
+        result = framework.render_scene(scene)
+        cap_series[f"cap={cap}"] = (
+            base.single_frame_cycles / result.single_frame_cycles
+        )
+
+    rows = [*threshold_series.keys(), *cap_series.keys()]
+    merged = {**threshold_series, **cap_series}
+    return FigureResult(
+        figure="Ablation A2",
+        title=f"OO-VR speedup vs. middleware parameters on {workload} "
+        "(paper uses TSL>0.5, cap=4096)",
+        series={"speedup": merged},
+        row_order=rows,
+    )
+
+
+def energy_report(experiment: ExperimentConfig = FULL) -> FigureResult:
+    """Per-frame link energy under the paper's integration assumptions.
+
+    Section 6.2: inter-GPM transfers cost ~10 pJ/bit on-board (250
+    pJ/bit across nodes); traffic reduction is therefore direct energy
+    saving.  Reports millijoules per frame for the three Fig. 16
+    schemes at both integration points.
+    """
+    config = baseline_system()
+    schemes = ("baseline", "object", "oo-vr")
+    on_board: Dict[str, float] = {}
+    off_board: Dict[str, float] = {}
+    for scheme in schemes:
+        results = run_framework_suite(scheme, experiment)
+        bytes_per_frame = geomean(
+            [r.mean_inter_gpm_bytes_per_frame for r in results.values()]
+        )
+        bits = bytes_per_frame * 8.0
+        on_board[scheme] = bits * 10.0 * 1e-9  # pJ -> mJ
+        off_board[scheme] = bits * 250.0 * 1e-9
+    return FigureResult(
+        figure="Extension E1",
+        title="inter-GPM link energy per frame (mJ, geomean of workloads)",
+        series={"10 pJ/bit (board)": on_board, "250 pJ/bit (nodes)": off_board},
+        row_order=list(schemes),
+    )

@@ -1,0 +1,425 @@
+"""Reproductions of the paper's figures (Sections 2-6).
+
+Every function returns a :class:`FigureResult`: named series over the
+nine workload points (or a parameter sweep), plus the paper's reported
+values where the text states them, so benches can print paper-vs-
+measured side by side.  Nothing here re-tunes the model — all runs share
+the Table 2 configuration (modulo the parameter being swept).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.config import baseline_system
+from repro.experiments.runner import (
+    FULL,
+    ExperimentConfig,
+    run_framework_suite,
+    scene_for,
+    single_frame_speedups,
+    throughput_speedups,
+    traffic_ratios,
+    with_average,
+)
+from repro.frameworks.base import build_framework
+from repro.stats.metrics import SceneResult, geomean
+from repro.stats.reporting import series_table
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """One reproduced figure: series keyed by design point."""
+
+    figure: str
+    title: str
+    #: column -> {row -> value}
+    series: Mapping[str, Mapping[str, float]]
+    row_order: Sequence[str]
+    #: The paper's headline numbers for the same quantity, if stated.
+    paper_reference: Mapping[str, float] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        body = series_table(
+            self.series, self.row_order, title=f"{self.figure}: {self.title}"
+        )
+        if not self.paper_reference:
+            return body
+        ref_lines = ["", "paper reference:"]
+        for key, value in self.paper_reference.items():
+            ref_lines.append(f"  {key}: {value:.3f}")
+        return body + "\n" + "\n".join(ref_lines)
+
+    def to_chart(self, width: int = 36) -> str:
+        """The figure as a terminal bar chart (paper-style grouped bars).
+
+        Averages-only when every series has an ``Avg.`` row (the usual
+        per-workload figures collapse to their headline bars); full
+        grouped chart otherwise.
+        """
+        from repro.stats.plotting import bar_chart, grouped_bar_chart
+
+        title = f"{self.figure}: {self.title}"
+        if all("Avg." in values for values in self.series.values()):
+            avgs = {name: values["Avg."] for name, values in self.series.items()}
+            return bar_chart(avgs, title=title, width=width, reference=1.0)
+        return grouped_bar_chart(
+            self.series, self.row_order, title=title, width=width
+        )
+
+    def average(self, column: str) -> float:
+        values = self.series[column]
+        if "Avg." in values:
+            return values["Avg."]
+        return geomean(list(values.values()))
+
+
+def _rows(experiment: ExperimentConfig) -> List[str]:
+    return [*experiment.workloads, "Avg."]
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — baseline sensitivity to inter-GPM link bandwidth
+# ---------------------------------------------------------------------------
+
+FIG4_BANDWIDTHS_GB = (1000.0, 256.0, 128.0, 64.0, 32.0)
+
+
+def fig04_bandwidth_sensitivity(
+    experiment: ExperimentConfig = FULL,
+) -> FigureResult:
+    """Normalised baseline performance as the links shrink (Fig. 4).
+
+    Performance is single-frame rate, normalised to the 1 TB/s links;
+    the paper reports average degradations of 22 % / 42 % / 65 % at
+    128 / 64 / 32 GB/s.
+    """
+    per_bw: Dict[str, Dict[str, float]] = {}
+    reference: Dict[str, SceneResult] = {}
+    for bandwidth in FIG4_BANDWIDTHS_GB:
+        config = baseline_system().with_link_bandwidth(bandwidth)
+        results = run_framework_suite("baseline", experiment, config)
+        if bandwidth == FIG4_BANDWIDTHS_GB[0]:
+            reference = results
+        label = "1TB/s" if bandwidth >= 1000 else f"{bandwidth:.0f}GB/s"
+        per_bw[label] = with_average(
+            single_frame_speedups(results, reference)
+        )
+    return FigureResult(
+        figure="Figure 4",
+        title="baseline performance vs. inter-GPM link bandwidth "
+        "(normalised to 1TB/s links)",
+        series=per_bw,
+        row_order=_rows(experiment),
+        paper_reference={
+            "128GB/s avg": 0.78,
+            "64GB/s avg": 0.58,
+            "32GB/s avg": 0.35,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — AFR throughput and single-frame latency
+# ---------------------------------------------------------------------------
+
+
+def fig07_afr(experiment: ExperimentConfig = FULL) -> FigureResult:
+    """AFR vs. baseline: overall performance and frame latency (Fig. 7)."""
+    baseline = run_framework_suite("baseline", experiment)
+    afr = run_framework_suite("afr", experiment)
+    overall = with_average(throughput_speedups(afr, baseline))
+    latency = with_average(
+        {
+            w: afr[w].single_frame_cycles / baseline[w].single_frame_cycles
+            for w in afr
+        }
+    )
+    return FigureResult(
+        figure="Figure 7",
+        title="AFR normalised overall performance (left) and single-frame "
+        "latency (right)",
+        series={"overall perf": overall, "frame latency": latency},
+        row_order=_rows(experiment),
+        paper_reference={"overall perf avg": 1.67, "frame latency avg": 1.59},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 8 and 9 — tile/object SFR performance and traffic
+# ---------------------------------------------------------------------------
+
+SFR_SCHEMES = ("tile-v", "tile-h", "object")
+_SFR_LABELS = {
+    "tile-v": "Tile-Level (V)",
+    "tile-h": "Tile-Level (H)",
+    "object": "Object-Level",
+}
+
+
+def fig08_sfr_performance(
+    experiment: ExperimentConfig = FULL,
+) -> FigureResult:
+    """SFR schemes' frame-rate speedup over the baseline (Fig. 8)."""
+    baseline = run_framework_suite("baseline", experiment)
+    series = {}
+    for scheme in SFR_SCHEMES:
+        results = run_framework_suite(scheme, experiment)
+        series[_SFR_LABELS[scheme]] = with_average(
+            throughput_speedups(results, baseline)
+        )
+    return FigureResult(
+        figure="Figure 8",
+        title="normalised performance of SFR schemes",
+        series=series,
+        row_order=_rows(experiment),
+        paper_reference={
+            "Tile-Level (V) avg": 1.28,
+            "Tile-Level (H) avg": 1.03,
+            "Object-Level avg": 1.60,
+        },
+    )
+
+
+def fig09_sfr_traffic(experiment: ExperimentConfig = FULL) -> FigureResult:
+    """SFR schemes' inter-GPM traffic vs. the baseline (Fig. 9)."""
+    baseline = run_framework_suite("baseline", experiment)
+    series = {}
+    for scheme in SFR_SCHEMES:
+        results = run_framework_suite(scheme, experiment)
+        series[_SFR_LABELS[scheme]] = with_average(
+            traffic_ratios(results, baseline)
+        )
+    return FigureResult(
+        figure="Figure 9",
+        title="normalised inter-GPM memory traffic of SFR schemes",
+        series=series,
+        row_order=_rows(experiment),
+        paper_reference={
+            "Tile-Level (V) avg": 1.50,
+            "Tile-Level (H) avg": 1.44,
+            "Object-Level avg": 0.60,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — object-level SFR load imbalance
+# ---------------------------------------------------------------------------
+
+
+def fig10_load_balance(experiment: ExperimentConfig = FULL) -> FigureResult:
+    """Best-to-worst GPM busy-time ratio under object-level SFR."""
+    results = run_framework_suite("object", experiment)
+    ratios = with_average(
+        {w: r.mean_load_balance_ratio for w, r in results.items()}
+    )
+    return FigureResult(
+        figure="Figure 10",
+        title="object-level SFR best-to-worst performance ratio among GPMs",
+        series={"best-to-worst": ratios},
+        row_order=_rows(experiment),
+        paper_reference={"max reported": 2.2, "typical": 1.4},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 15 and 16 — the OO-VR headline results
+# ---------------------------------------------------------------------------
+
+FIG15_SCHEMES = ("object", "afr", "1tbs-bw", "oo-app", "oo-vr")
+_FIG15_LABELS = {
+    "object": "Object-Level",
+    "afr": "Frame-Level",
+    "1tbs-bw": "1TB/s-BW",
+    "oo-app": "OO_APP",
+    "oo-vr": "OOVR",
+}
+
+
+def fig15_oovr_speedup(experiment: ExperimentConfig = FULL) -> FigureResult:
+    """Single-frame speedup of all design points vs. baseline (Fig. 15)."""
+    baseline = run_framework_suite("baseline", experiment)
+    series = {}
+    for scheme in FIG15_SCHEMES:
+        results = run_framework_suite(scheme, experiment)
+        series[_FIG15_LABELS[scheme]] = with_average(
+            single_frame_speedups(results, baseline)
+        )
+    return FigureResult(
+        figure="Figure 15",
+        title="normalised single-frame speedup of the design scenarios",
+        series=series,
+        row_order=_rows(experiment),
+        paper_reference={
+            "OO_APP avg": 1.99,
+            "OOVR avg vs object-level": 1.99,
+            "OOVR avg vs OO_APP": 1.59,
+        },
+    )
+
+
+def fig16_oovr_traffic(experiment: ExperimentConfig = FULL) -> FigureResult:
+    """Inter-GPM traffic: baseline vs. object-level vs. OO-VR (Fig. 16)."""
+    baseline = run_framework_suite("baseline", experiment)
+    series: Dict[str, Mapping[str, float]] = {
+        "Baseline": with_average({w: 1.0 for w in baseline})
+    }
+    for scheme, label in (("object", "Object-Level"), ("oo-vr", "OOVR")):
+        results = run_framework_suite(scheme, experiment)
+        series[label] = with_average(traffic_ratios(results, baseline))
+    return FigureResult(
+        figure="Figure 16",
+        title="normalised inter-GPM memory traffic",
+        series=series,
+        row_order=_rows(experiment),
+        paper_reference={"Object-Level avg": 0.60, "OOVR avg": 0.24},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 17 — sensitivity of the design points to link bandwidth
+# ---------------------------------------------------------------------------
+
+FIG17_BANDWIDTHS_GB = (32.0, 64.0, 128.0, 256.0)
+FIG17_SCHEMES = ("baseline", "object", "oo-vr")
+_FIG17_LABELS = {
+    "baseline": "Baseline",
+    "object": "Object-level",
+    "oo-vr": "OOVR",
+}
+
+
+def fig17_link_bandwidth(experiment: ExperimentConfig = FULL) -> FigureResult:
+    """Speedup vs. link bandwidth, normalised to baseline@64GB/s."""
+    reference: Optional[Dict[str, SceneResult]] = None
+    series: Dict[str, Dict[str, float]] = {
+        label: {} for label in _FIG17_LABELS.values()
+    }
+    base_config = baseline_system()
+    reference = run_framework_suite("baseline", experiment, base_config)
+    reference_mean = geomean(
+        [r.single_frame_cycles for r in reference.values()]
+    )
+    for bandwidth in FIG17_BANDWIDTHS_GB:
+        config = baseline_system().with_link_bandwidth(bandwidth)
+        row = f"{bandwidth:.0f}GB/s"
+        for scheme in FIG17_SCHEMES:
+            results = run_framework_suite(scheme, experiment, config)
+            mean_cycles = geomean(
+                [r.single_frame_cycles for r in results.values()]
+            )
+            series[_FIG17_LABELS[scheme]][row] = reference_mean / mean_cycles
+    return FigureResult(
+        figure="Figure 17",
+        title="speedup vs. inter-GPM link bandwidth "
+        "(normalised to Baseline @ 64GB/s)",
+        series=series,
+        row_order=[f"{bw:.0f}GB/s" for bw in FIG17_BANDWIDTHS_GB],
+        paper_reference={
+            "OOVR insensitivity (256/32 ratio)": 1.15,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 18 — scalability with the number of GPMs
+# ---------------------------------------------------------------------------
+
+FIG18_GPM_COUNTS = (1, 2, 4, 8)
+FIG18_SCHEMES = ("baseline", "object", "oo-vr")
+
+
+def fig18_scalability(experiment: ExperimentConfig = FULL) -> FigureResult:
+    """Speedup over a single GPM as the module count grows (Fig. 18)."""
+    series: Dict[str, Dict[str, float]] = {
+        _FIG17_LABELS[s]: {} for s in FIG18_SCHEMES
+    }
+    single = run_framework_suite(
+        "baseline", experiment, baseline_system(num_gpms=1)
+    )
+    single_mean = geomean([r.single_frame_cycles for r in single.values()])
+    for count in FIG18_GPM_COUNTS:
+        config = baseline_system(num_gpms=count)
+        row = f"{count} GPM"
+        for scheme in FIG18_SCHEMES:
+            results = run_framework_suite(scheme, experiment, config)
+            mean_cycles = geomean(
+                [r.single_frame_cycles for r in results.values()]
+            )
+            series[_FIG17_LABELS[scheme]][row] = single_mean / mean_cycles
+    return FigureResult(
+        figure="Figure 18",
+        title="speedup over single GPM vs. number of GPMs",
+        series=series,
+        row_order=[f"{c} GPM" for c in FIG18_GPM_COUNTS],
+        paper_reference={
+            "Baseline @8": 2.08,
+            "Object-level @8": 3.47,
+            "OOVR @4": 3.64,
+            "OOVR @8": 6.27,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 3 — SMP validation (Fig. 5 context)
+# ---------------------------------------------------------------------------
+
+
+def smp_validation(experiment: ExperimentConfig = FULL) -> FigureResult:
+    """SMP multi-view vs. sequential stereo on one GPM (~27 % gain).
+
+    Mirrors the paper's validation of the ATTILA SMP engine: the same
+    frames rendered as two sequential per-eye passes and as SMP
+    multi-view draws on a single-GPM system.
+    """
+    from repro.gpu.system import MultiGPUSystem
+    from repro.pipeline.smp import SMPMode
+
+    config = baseline_system(num_gpms=1)
+    speedups: Dict[str, float] = {}
+    for workload in experiment.workloads:
+        scene = scene_for(workload, experiment)
+        frame = scene.representative_frame
+        framework = build_framework("baseline", config)
+
+        def frame_cycles(mode: SMPMode) -> float:
+            system = MultiGPUSystem(config)
+            system.begin_frame()
+            draws = (
+                frame.stereo_draws()
+                if mode is SMPMode.SEQUENTIAL
+                else frame.multiview_draws()
+            )
+            for draw in draws:
+                unit = framework.characterizer.characterize(draw, mode=mode)
+                system.execute_unit(unit, 0, fb_targets={0: 1.0})
+            return system.frame_result("smp-check", workload).cycles
+
+        sequential = frame_cycles(SMPMode.SEQUENTIAL)
+        simultaneous = frame_cycles(SMPMode.SIMULTANEOUS)
+        speedups[workload] = sequential / simultaneous
+    return FigureResult(
+        figure="Section 3",
+        title="SMP multi-view speedup over sequential stereo (single GPM)",
+        series={"SMP speedup": with_average(speedups)},
+        row_order=_rows(experiment),
+        paper_reference={"paper": 1.27},
+    )
+
+
+#: Registry used by the CLI and the benches.
+FIGURES = {
+    "4": fig04_bandwidth_sensitivity,
+    "7": fig07_afr,
+    "8": fig08_sfr_performance,
+    "9": fig09_sfr_traffic,
+    "10": fig10_load_balance,
+    "15": fig15_oovr_speedup,
+    "16": fig16_oovr_traffic,
+    "17": fig17_link_bandwidth,
+    "18": fig18_scalability,
+    "smp": smp_validation,
+}

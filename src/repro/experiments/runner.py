@@ -1,0 +1,118 @@
+"""Shared experiment machinery.
+
+Scenes are deterministic per (workload, seed, scale) and cached within a
+process, so sweeps that revisit the same workload under different
+hardware configurations (Figs. 4, 17, 18) compare identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.config import SystemConfig, baseline_system
+from repro.frameworks.base import build_framework
+from repro.scene.benchmarks import WORKLOADS, make_benchmark_scene
+from repro.scene.scene import Scene
+from repro.stats.metrics import SceneResult, geomean
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every experiment run.
+
+    ``draw_scale`` shrinks workloads uniformly (the fast test suite uses
+    ~0.15); benchmarks run at 1.0.  ``num_frames`` is the scene length;
+    AFR needs at least ``num_gpms`` frames to show pipelining.
+    """
+
+    draw_scale: float = 1.0
+    num_frames: int = 3
+    seed: int = 2019
+    workloads: Sequence[str] = WORKLOADS
+
+    def __post_init__(self) -> None:
+        if self.draw_scale <= 0:
+            raise ValueError("draw_scale must be positive")
+        if self.num_frames < 1:
+            raise ValueError("need at least one frame")
+
+
+#: The experiment configuration used by the benchmark harness.
+FULL = ExperimentConfig()
+#: A reduced configuration for quick runs and the test suite.
+FAST = ExperimentConfig(draw_scale=0.15, num_frames=2)
+
+
+@lru_cache(maxsize=128)
+def _cached_scene(
+    workload: str, num_frames: int, seed: int, draw_scale: float
+) -> Scene:
+    return make_benchmark_scene(
+        workload, num_frames=num_frames, seed=seed, draw_scale=draw_scale
+    )
+
+
+def scene_for(workload: str, experiment: ExperimentConfig = FULL) -> Scene:
+    """The (cached) scene for one workload point."""
+    return _cached_scene(
+        workload, experiment.num_frames, experiment.seed, experiment.draw_scale
+    )
+
+
+def run_framework_suite(
+    framework_name: str,
+    experiment: ExperimentConfig = FULL,
+    config: Optional[SystemConfig] = None,
+) -> Dict[str, SceneResult]:
+    """Run one framework over every workload of the experiment."""
+    results: Dict[str, SceneResult] = {}
+    for workload in experiment.workloads:
+        framework = build_framework(framework_name, config)
+        results[workload] = framework.render_scene(scene_for(workload, experiment))
+    return results
+
+
+def single_frame_speedups(
+    results: Mapping[str, SceneResult],
+    baseline: Mapping[str, SceneResult],
+) -> Dict[str, float]:
+    """Per-workload single-frame speedup vs. the baseline results."""
+    return {
+        workload: baseline[workload].single_frame_cycles
+        / results[workload].single_frame_cycles
+        for workload in results
+    }
+
+
+def throughput_speedups(
+    results: Mapping[str, SceneResult],
+    baseline: Mapping[str, SceneResult],
+) -> Dict[str, float]:
+    """Per-workload frame-rate speedup vs. the baseline results."""
+    return {
+        workload: baseline[workload].frame_interval_cycles
+        / results[workload].frame_interval_cycles
+        for workload in results
+    }
+
+
+def traffic_ratios(
+    results: Mapping[str, SceneResult],
+    baseline: Mapping[str, SceneResult],
+) -> Dict[str, float]:
+    """Per-workload inter-GPM traffic normalised to the baseline."""
+    out: Dict[str, float] = {}
+    for workload in results:
+        base = baseline[workload].mean_inter_gpm_bytes_per_frame
+        mine = results[workload].mean_inter_gpm_bytes_per_frame
+        out[workload] = mine / base if base > 0 else 0.0
+    return out
+
+
+def with_average(values: Mapping[str, float]) -> Dict[str, float]:
+    """Append the geometric-mean 'Avg.' entry the paper's figures show."""
+    out = dict(values)
+    out["Avg."] = geomean(list(values.values()))
+    return out

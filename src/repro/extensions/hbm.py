@@ -1,0 +1,84 @@
+"""Local-memory bandwidth scaling (the HBM-generation study).
+
+Section 6.3 argues that "as the local memory bandwidth scales in future
+GPU design (e.g. High-Bandwidth Memory), the performance of the future
+multi-GPU scenario is more likely to be constrained by inter-GPU
+memory" — i.e. OO-VR's advantage *grows* as local DRAM gets faster
+while links stay hard to scale.  :func:`local_bandwidth_sweep` measures
+that claim: single-frame speedup over today's baseline for each scheme
+at each local-bandwidth point, with the 64 GB/s link held fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Mapping, Sequence
+
+from repro.config import SystemConfig, baseline_system
+
+__all__ = ["HBM_GENERATIONS", "local_bandwidth_sweep"]
+
+#: Local DRAM bandwidth points, GB/s, spanning the local:link asymmetry
+#: from none (64 GB/s local = the 64 GB/s link, a flat machine) through
+#: the paper's 1 TB/s HBM baseline to an HBM3e-class 4 TB/s.  The
+#: paper's conclusion argues OO-VR's advantage grows with this
+#: asymmetry; the low points are where that claim is visible.
+HBM_GENERATIONS: Mapping[str, float] = {
+    "64 GB/s (=link)": 64.0,
+    "128 GB/s": 128.0,
+    "256 GB/s": 256.0,
+    "1 TB/s (paper)": 1000.0,
+    "4 TB/s": 4000.0,
+}
+
+
+def with_local_bandwidth(
+    config: SystemConfig, bytes_per_cycle: float
+) -> SystemConfig:
+    """A copy of ``config`` with a different local DRAM bandwidth."""
+    if bytes_per_cycle <= 0:
+        raise ValueError("bandwidth must be positive")
+    return replace(
+        config, gpm=replace(config.gpm, dram_bytes_per_cycle=bytes_per_cycle)
+    )
+
+
+def local_bandwidth_sweep(
+    schemes: Sequence[str] = ("baseline", "object", "oo-vr"),
+    generations: Mapping[str, float] = HBM_GENERATIONS,
+    workloads: Sequence[str] = ("DM3-1280", "HL2-1280", "WE"),
+    draw_scale: float = 1.0,
+    num_frames: int = 2,
+) -> Dict[str, Dict[str, float]]:
+    """Speedup over (baseline, 1 TB/s) per (generation, scheme) cell.
+
+    Returns ``{generation: {scheme: speedup}}``, geomean over
+    workloads.  The link stays at the Table 2 value throughout: the
+    sweep isolates the bandwidth *asymmetry*, not raw bandwidth.
+    """
+    from repro.experiments.runner import ExperimentConfig, scene_for
+    from repro.frameworks.base import build_framework
+    from repro.stats.metrics import geomean
+
+    experiment = ExperimentConfig(
+        draw_scale=draw_scale, num_frames=num_frames, workloads=tuple(workloads)
+    )
+
+    def run(scheme: str, config: SystemConfig) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for workload in workloads:
+            framework = build_framework(scheme, config)
+            result = framework.render_scene(scene_for(workload, experiment))
+            out[workload] = result.single_frame_cycles
+        return out
+
+    reference = run("baseline", baseline_system())
+    table: Dict[str, Dict[str, float]] = {}
+    for label, gbps in generations.items():
+        config = with_local_bandwidth(baseline_system(), float(gbps))
+        row: Dict[str, float] = {}
+        for scheme in schemes:
+            cycles = run(scheme, config)
+            row[scheme] = geomean([reference[w] / cycles[w] for w in workloads])
+        table[label] = row
+    return table

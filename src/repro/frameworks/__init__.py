@@ -1,0 +1,34 @@
+"""Parallel rendering frameworks (the paper's baselines, Section 4).
+
+- :mod:`repro.frameworks.base` — the shared framework interface and
+  scene-level orchestration;
+- :mod:`repro.frameworks.single` — the naive single-programming-model
+  baseline (the whole multi-GPU system pretends to be one GPU);
+- :mod:`repro.frameworks.afr` — Alternate Frame Rendering (frame-level
+  parallelism, Fig. 6a);
+- :mod:`repro.frameworks.tile_sfr` — tile-level Split Frame Rendering
+  with vertical or horizontal strips (Figs. 6b/6c);
+- :mod:`repro.frameworks.object_sfr` — object-level SFR / sort-last
+  with round-robin distribution and master composition (Fig. 6d).
+
+The paper's contribution (OO_APP and the full OO-VR) lives in
+:mod:`repro.core` and implements the same interface.
+"""
+
+from repro.frameworks.base import RenderingFramework, build_framework, framework_names
+from repro.frameworks.single import BandwidthScaledBaseline, SingleKernelBaseline
+from repro.frameworks.afr import AlternateFrameRendering
+from repro.frameworks.tile_sfr import TileSplitFrameRendering, TileOrientation
+from repro.frameworks.object_sfr import ObjectLevelSFR
+
+__all__ = [
+    "RenderingFramework",
+    "build_framework",
+    "framework_names",
+    "SingleKernelBaseline",
+    "BandwidthScaledBaseline",
+    "AlternateFrameRendering",
+    "TileSplitFrameRendering",
+    "TileOrientation",
+    "ObjectLevelSFR",
+]

@@ -1,0 +1,132 @@
+"""The framework interface shared by all parallel rendering schemes.
+
+A framework turns a :class:`~repro.scene.scene.Scene` into a
+:class:`~repro.stats.metrics.SceneResult` by deciding, per frame, how
+draws become work units, which GPM runs each unit, where resources and
+framebuffer pages live, and how the final frame is composed.  Everything
+mechanical (NUMA resolution, timing, traffic accounting) is delegated to
+:class:`~repro.gpu.system.MultiGPUSystem`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import SystemConfig, baseline_system
+from repro.gpu.system import MultiGPUSystem
+from repro.memory.placement import PlacementPolicy
+from repro.pipeline.characterize import DrawCharacterizer
+from repro.scene.scene import Frame, Scene
+from repro.stats.metrics import FrameResult, SceneResult
+
+
+class RenderingFramework(abc.ABC):
+    """Base class for parallel rendering schemes."""
+
+    #: Stable identifier used in results and experiment tables.
+    name: str = "abstract"
+    #: Page placement policy the framework's memory image starts from.
+    placement_policy: PlacementPolicy = PlacementPolicy.FIRST_TOUCH
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        self.config = config or baseline_system()
+        self.characterizer = DrawCharacterizer(self.config)
+
+    # -- system construction ------------------------------------------------
+
+    def make_system(self) -> MultiGPUSystem:
+        """A fresh machine with this framework's placement policy."""
+        return MultiGPUSystem(self.config, self.placement_policy)
+
+    # -- per-frame behaviour (framework-specific) -----------------------------
+
+    @abc.abstractmethod
+    def render_frame_on(
+        self, system: MultiGPUSystem, frame: Frame, workload: str
+    ) -> FrameResult:
+        """Render one frame on ``system`` (already ``begin_frame``-ed)."""
+
+    # -- scene orchestration ---------------------------------------------------
+
+    def frame_interval_cycles(
+        self, frame_results: Sequence[FrameResult]
+    ) -> float:
+        """Steady-state cycles between frame completions.
+
+        Default: frames render back to back on the whole machine, so the
+        interval is the mean steady-state single-frame latency.  AFR
+        overrides this with its pipelined schedule.
+        """
+        steady = frame_results[1:] if len(frame_results) > 1 else frame_results
+        return sum(f.cycles for f in steady) / len(steady)
+
+    def render_scene(self, scene: Scene) -> SceneResult:
+        """Render every frame of ``scene`` on one persistent machine.
+
+        Page placement persists across frames (assets stay where the
+        first frame placed them), matching steady-state hardware
+        behaviour; caches and counters reset per frame.
+        """
+        system = self.make_system()
+        results: List[FrameResult] = []
+        for frame in scene:
+            system.begin_frame(keep_placement=True)
+            results.append(self.render_frame_on(system, frame, scene.name))
+        return SceneResult(
+            framework=self.name,
+            workload=scene.name,
+            frames=results,
+            frame_interval_cycles=self.frame_interval_cycles(results),
+        )
+
+    def render_frame(self, frame: Frame, workload: str = "adhoc") -> FrameResult:
+        """Convenience: render a single frame on a fresh machine."""
+        system = self.make_system()
+        system.begin_frame()
+        return self.render_frame_on(system, frame, workload)
+
+
+#: Registry of framework constructors, keyed by the names the paper uses.
+_REGISTRY: Dict[str, Callable[[Optional[SystemConfig]], RenderingFramework]] = {}
+
+
+def register_framework(
+    name: str,
+) -> Callable[[type], type]:
+    """Class decorator adding a framework to the registry."""
+
+    def decorate(cls: type) -> type:
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def build_framework(
+    name: str, config: Optional[SystemConfig] = None
+) -> RenderingFramework:
+    """Instantiate a registered framework by name.
+
+    Known names: ``baseline``, ``1tbs-bw``, ``afr``, ``tile-v``,
+    ``tile-h``, ``object``, ``oo-app``, ``oo-vr``.
+    """
+    # Import the implementations lazily so the registry is populated
+    # regardless of which module the caller imported first.
+    from repro.frameworks import afr, object_sfr, single, tile_sfr  # noqa: F401
+    from repro.core import oovr  # noqa: F401
+    from repro.extensions import migration  # noqa: F401
+
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown framework {name!r}; have {sorted(_REGISTRY)}")
+    return _REGISTRY[name](config)
+
+
+def framework_names() -> List[str]:
+    """All registered framework names (after importing implementations)."""
+    from repro.frameworks import afr, object_sfr, single, tile_sfr  # noqa: F401
+    from repro.core import oovr  # noqa: F401
+    from repro.extensions import migration  # noqa: F401
+
+    return sorted(_REGISTRY)

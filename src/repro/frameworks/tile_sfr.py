@@ -1,0 +1,168 @@
+"""Tile-level Split Frame Rendering (Section 4.2).
+
+The stereo framebuffer is split into one strip per GPM and every GPM
+renders whatever falls in its strip (sort-first).  Two orientations,
+matching Figs. 6b and 6c:
+
+- **Vertical (V)**: equal-width columns of the side-by-side stereo
+  frame.  The left and right views of an object land on *different*
+  GPMs, so SMP cannot merge them: every object renders as two full
+  per-eye passes, and the shared texture data is re-staged per eye —
+  "the large texture data have to be moved frequently across the GPMs".
+- **Horizontal (H)**: full-width rows.  Each row spans both eyes, so
+  SMP stays effective (geometry once per overlapping strip), but
+  content is vertically skewed (grounds and walls are denser than
+  skies), so the strips are badly load-balanced, and wide objects
+  (the paper's bridge example) span many strips redundantly.
+
+Both orientations pay the sort-first geometry broadcast: a strip that an
+object overlaps must transform the *whole* object to discover its
+pixels.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import SystemConfig
+from repro.frameworks.base import RenderingFramework, register_framework
+from repro.gpu.system import MultiGPUSystem
+from repro.gpu.staging import StagingManager
+from repro.memory.placement import PlacementPolicy
+from repro.pipeline.raster import StripShare, normalize_pixel_shares, strip_shares
+from repro.pipeline.smp import SMPMode
+from repro.pipeline.workunit import WorkUnit
+from repro.scene.geometry import (
+    Viewport,
+    horizontal_strips,
+    vertical_strips,
+)
+from repro.scene.objects import Eye, StereoDraw
+from repro.scene.scene import Frame
+from repro.stats.metrics import FrameResult
+
+
+class TileOrientation(enum.Enum):
+    """Strip orientation of the tile-level SFR."""
+
+    VERTICAL = "vertical"
+    HORIZONTAL = "horizontal"
+
+
+class TileSplitFrameRendering(RenderingFramework):
+    """Sort-first tile-level SFR over the stereo framebuffer."""
+
+    placement_policy = PlacementPolicy.FIRST_TOUCH
+    orientation: TileOrientation = TileOrientation.VERTICAL
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        orientation: Optional[TileOrientation] = None,
+    ) -> None:
+        super().__init__(config)
+        if orientation is not None:
+            self.orientation = orientation
+
+    # -- geometry of the decomposition ------------------------------------
+
+    def strips(self, frame: Frame) -> List[Viewport]:
+        """One strip per GPM over the side-by-side stereo frame."""
+        stereo = frame.stereo_viewport
+        if self.orientation is TileOrientation.VERTICAL:
+            return vertical_strips(stereo, self.config.num_gpms)
+        return horizontal_strips(stereo, self.config.num_gpms)
+
+    @staticmethod
+    def stereo_space_viewports(draw: StereoDraw, eye_width: int) -> Tuple[Viewport, ...]:
+        """The draw's rectangles in stereo-frame coordinates.
+
+        The right eye's image occupies ``[W, 2W)`` of the side-by-side
+        frame, so right-view rectangles shift by the eye width.
+        """
+        out: List[Viewport] = []
+        if draw.eye in (Eye.LEFT, Eye.BOTH) and draw.obj.viewport_left is not None:
+            out.append(draw.obj.viewport_left)
+        if draw.eye in (Eye.RIGHT, Eye.BOTH) and draw.obj.viewport_right is not None:
+            out.append(draw.obj.viewport_right.shifted(float(eye_width)))
+        return tuple(out)
+
+    # -- rendering -----------------------------------------------------------
+
+    def _draw_stream(self, frame: Frame) -> List[Tuple[StereoDraw, SMPMode]]:
+        if self.orientation is TileOrientation.VERTICAL:
+            # SMP cannot span strips: two sequential per-eye passes.
+            return [(d, SMPMode.SEQUENTIAL) for d in frame.stereo_draws()]
+        # Horizontal strips contain both eyes: SMP multi-view draws.
+        return [(d, SMPMode.SIMULTANEOUS) for d in frame.multiview_draws()]
+
+    def render_frame_on(
+        self, system: MultiGPUSystem, frame: Frame, workload: str
+    ) -> FrameResult:
+        strips = self.strips(frame)
+        cost = self.config.cost
+        # Cluster-heritage SFR stages each strip's working set into its
+        # GPM's memory segment every frame ("the large texture data
+        # have to be moved frequently across the GPMs", Section 4.2);
+        # strips re-copy borders and mip chains, hence the larger
+        # staging factor.
+        staging = StagingManager(
+            system,
+            factor=cost.tile_stage_factor,
+            parallelism=cost.tile_stage_parallelism,
+        )
+        staging.begin_frame()
+        for draw, mode in self._draw_stream(frame):
+            unit = self.characterizer.characterize(draw, mode=mode)
+            shares = normalize_pixel_shares(
+                strip_shares(
+                    self.stereo_space_viewports(draw, frame.width), strips
+                )
+            )
+            if not shares:
+                continue
+            for share in shares:
+                if share.pixel_share <= 0.0:
+                    # Geometry-only discovery work: the strip transforms
+                    # the object and finds no pixels.
+                    slice_unit = unit.with_screen_share(
+                        pixel_share=1e-9,
+                        geometry_share=share.geometry_share,
+                        unique_inflation=1.0,
+                        label_suffix=f"strip{share.strip_index}",
+                    )
+                else:
+                    slice_unit = unit.with_screen_share(
+                        pixel_share=min(1.0, share.pixel_share),
+                        geometry_share=share.geometry_share,
+                        unique_inflation=cost.tile_unique_inflation,
+                        label_suffix=f"strip{share.strip_index}",
+                    )
+                gpm = share.strip_index
+                # Multi-view slices stage most of each eye's region
+                # separately; caches, not the copies, share the rest.
+                staging.stage_unit(
+                    slice_unit, gpm,
+                    factor_scale=1.0 + 0.6 * (slice_unit.views - 1),
+                )
+                # Strips own their framebuffer region: writes are local.
+                system.execute_unit(
+                    slice_unit, gpm, fb_targets={gpm: 1.0}, command_source=0
+                )
+        # Sort-first needs no composition pass: strips tile the frame.
+        return system.frame_result(self.name, workload)
+
+
+@register_framework("tile-v")
+class VerticalTileSFR(TileSplitFrameRendering):
+    """Tile-level SFR (V): vertical pixel stripping (Fig. 6b)."""
+
+    orientation = TileOrientation.VERTICAL
+
+
+@register_framework("tile-h")
+class HorizontalTileSFR(TileSplitFrameRendering):
+    """Tile-level SFR (H): horizontal culling, SMP-compatible (Fig. 6c)."""
+
+    orientation = TileOrientation.HORIZONTAL

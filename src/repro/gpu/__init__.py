@@ -1,0 +1,16 @@
+"""The multi-GPU execution substrate.
+
+- :mod:`repro.gpu.gpm` — one GPU module's execution state and runtime
+  counters (the #tv / #pixel counters the distribution engine reads);
+- :mod:`repro.gpu.system` — the NUMA-aware multi-GPU machine: binds
+  work units to GPMs, resolves memory touches through page placement,
+  the remote caches and the link fabric, and runs static queues or
+  dynamic dispatchers to a frame result;
+- :mod:`repro.gpu.composition` — master-node vs. distributed frame
+  composition passes.
+"""
+
+from repro.gpu.gpm import GPM
+from repro.gpu.system import FramebufferTargets, MultiGPUSystem
+
+__all__ = ["GPM", "MultiGPUSystem", "FramebufferTargets"]

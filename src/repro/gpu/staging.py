@@ -1,0 +1,111 @@
+"""Software data staging: distributing data along with the work.
+
+Every object-level scheme in the paper moves *data to the renderer*
+rather than reading it through the links during shading:
+
+- classic **object-level SFR** "distributes the rendering object along
+  with its required data per GPM" (Section 1);
+- **tile-level SFR** inherits the distributed-memory habit of cluster
+  frameworks: each strip's working set is (re-)staged into its GPM's
+  memory segment every frame;
+- **OO_APP** stages per batch, which is cheaper because TSL grouping
+  co-locates sharers and SMP halves the per-object footprint;
+- **OO-VR**'s PA units stage the same bytes but *ahead of time*, so the
+  copy latency hides behind the previous batch (Section 5.2).
+
+The :class:`StagingManager` accounts those copies: per frame and per
+(resource, GPM) pair it tracks how much has been staged, transfers the
+shortfall over the fabric, replicates the pages locally (so render-time
+reads hit local DRAM), and optionally stalls the GPM for the
+non-overlapped part of the copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.gpu.system import MultiGPUSystem
+from repro.memory.address import Touch
+from repro.memory.link import TrafficType
+from repro.pipeline.workunit import WorkUnit
+
+
+@dataclass
+class StagingManager:
+    """Per-frame staging bookkeeping for one rendering framework."""
+
+    system: MultiGPUSystem
+    #: Staged bytes per unique touched byte (page/mip overfetch).
+    factor: float = 1.0
+    #: Effective parallelism of the copy (incoming links x overlap with
+    #: rendering); the stall a GPM sees is ``bytes / (link_bw x this)``.
+    parallelism: float = 6.0
+    #: When True the copy is fully prefetched (OO-VR's PA units): the
+    #: traffic is accounted but no stall is charged.
+    prefetched: bool = False
+    traffic_type: TrafficType = TrafficType.TEXTURE
+    _staged: Dict[Tuple[Tuple[str, int], int], float] = field(default_factory=dict)
+    #: Total bytes copied this frame (tests and reports read this).
+    staged_bytes: float = 0.0
+
+    def begin_frame(self) -> None:
+        """Segmented memories refill each frame: forget what was staged."""
+        self._staged.clear()
+        self.staged_bytes = 0.0
+
+    def _stage_touch(self, touch: Touch, gpm: int, scale: float = 1.0) -> float:
+        resource = touch.resource
+        placement = self.system.placement
+        if not placement.is_placed(resource):
+            # First toucher: pages land local for free (first touch by
+            # the staging copy itself).
+            placement.place_fixed(resource, gpm)
+            self._staged[(resource.resource_id, gpm)] = float(resource.size_bytes)
+            return 0.0
+        if placement.is_home(resource, gpm):
+            # The resource's home DRAM: nothing to move, ever.
+            return 0.0
+        # Replicate immediately so render-time reads go to local DRAM;
+        # the copy bytes accumulate with use, capped at the footprint.
+        placement.replicate(resource, [gpm])
+        key = (resource.resource_id, gpm)
+        factor = self.factor * scale
+        wanted = min(
+            float(resource.size_bytes) * max(factor, 1.0),
+            self._staged.get(key, 0.0) + touch.unique_bytes * factor,
+        )
+        shortfall = wanted - self._staged.get(key, 0.0)
+        if shortfall <= 0:
+            return 0.0
+        self._staged[key] = wanted
+        src = (gpm + 1) % self.system.num_gpms
+        self.system.fabric.transfer(src, gpm, shortfall, self.traffic_type)
+        self.system.drams[gpm].write(shortfall)
+        return shortfall
+
+    def stage_unit(
+        self, unit: WorkUnit, gpm: int, factor_scale: float = 1.0
+    ) -> float:
+        """Stage everything ``unit`` needs on ``gpm``; returns the stall.
+
+        Render-time texture reads are redirected to local DRAM by
+        recording the staged copy; vertex buffers are tiny and stage
+        along with the command stream.  ``factor_scale`` lets callers
+        stage per view (tile-SFR copies each eye region's data even
+        though SMP shares the cached footprint).  Returns the stall
+        cycles the caller should charge (zero when prefetched).
+        """
+        copied = 0.0
+        for touch in unit.texture_touches:
+            copied += self._stage_touch(touch, gpm, factor_scale)
+        for touch in unit.vertex_touches:
+            copied += self._stage_touch(touch, gpm, factor_scale)
+        self.staged_bytes += copied
+        if copied <= 0 or self.prefetched:
+            return 0.0
+        stall = copied / (
+            self.system.config.link.bytes_per_cycle * self.parallelism
+        )
+        self.system.gpms[gpm].run("stage", stall)
+        return stall

@@ -1,0 +1,133 @@
+"""The inter-GPM link fabric.
+
+Each GPM pair has a dedicated point-to-point NVLink (the paper assumes 6
+ports per GPM so pairs never contend).  The fabric records bytes per
+direction per pair, tagged by *traffic type* so the figures can break
+down where inter-GPM traffic comes from (texture reads vs. composition
+vs. commands vs. PA copies — the decomposition Section 6.2 discusses).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+
+class TrafficType(enum.Enum):
+    """Why bytes crossed a link."""
+
+    TEXTURE = "texture"
+    VERTEX = "vertex"
+    ZTEST = "ztest"
+    FRAMEBUFFER = "framebuffer"
+    COMPOSITION = "composition"
+    COMMAND = "command"
+    PREALLOC = "prealloc"
+    STEAL = "steal"
+
+
+@dataclass
+class LinkStats:
+    """Per-direction byte counter of one (src, dst) link."""
+
+    src: int
+    dst: int
+    bytes_total: float = 0.0
+    by_type: Dict[TrafficType, float] = field(default_factory=dict)
+
+    def add(self, nbytes: float, traffic: TrafficType) -> None:
+        if nbytes < 0:
+            raise ValueError("negative link transfer")
+        self.bytes_total += nbytes
+        self.by_type[traffic] = self.by_type.get(traffic, 0.0) + nbytes
+
+
+class LinkFabric:
+    """All pairwise links of the system."""
+
+    def __init__(self, num_gpms: int, bytes_per_cycle: float, latency_cycles: int = 0):
+        if num_gpms <= 0:
+            raise ValueError("need at least one GPM")
+        if bytes_per_cycle <= 0:
+            raise ValueError("link bandwidth must be positive")
+        self.num_gpms = num_gpms
+        self.bytes_per_cycle = bytes_per_cycle
+        self.latency_cycles = latency_cycles
+        self._links: Dict[Tuple[int, int], LinkStats] = {}
+
+    def _check(self, gpm: int) -> None:
+        if not 0 <= gpm < self.num_gpms:
+            raise ValueError(f"GPM {gpm} out of range 0..{self.num_gpms - 1}")
+
+    def transfer(
+        self, src: int, dst: int, nbytes: float, traffic: TrafficType
+    ) -> float:
+        """Record ``nbytes`` moving ``src -> dst``; returns transfer cycles.
+
+        Transfers within one GPM are free (the XBAR, not a link).
+        """
+        self._check(src)
+        self._check(dst)
+        if src == dst or nbytes <= 0:
+            return 0.0
+        stats = self._links.get((src, dst))
+        if stats is None:
+            stats = LinkStats(src, dst)
+            self._links[(src, dst)] = stats
+        stats.add(nbytes, traffic)
+        return nbytes / self.bytes_per_cycle + self.latency_cycles
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> float:
+        """All inter-GPM traffic, both directions, all pairs."""
+        return sum(s.bytes_total for s in self._links.values())
+
+    def bytes_by_type(self) -> Dict[TrafficType, float]:
+        out: Dict[TrafficType, float] = {}
+        for stats in self._links.values():
+            for traffic, nbytes in stats.by_type.items():
+                out[traffic] = out.get(traffic, 0.0) + nbytes
+        return out
+
+    def bytes_between(self, src: int, dst: int) -> float:
+        """Directional bytes recorded ``src -> dst``."""
+        stats = self._links.get((src, dst))
+        return stats.bytes_total if stats else 0.0
+
+    def incoming_bytes(self, gpm: int) -> float:
+        return sum(
+            s.bytes_total for (src, dst), s in self._links.items() if dst == gpm
+        )
+
+    def outgoing_bytes(self, gpm: int) -> float:
+        return sum(
+            s.bytes_total for (src, dst), s in self._links.items() if src == gpm
+        )
+
+    def hops(self, src: int, dst: int) -> int:
+        """Physical links a ``src -> dst`` transfer crosses.
+
+        The base fabric is fully connected (dedicated pairwise links),
+        so every remote transfer is one hop; routed topologies override
+        this and the unit-pricing model multiplies link time by it.
+        """
+        return 0 if src == dst else 1
+
+    def busiest_pair_cycles(self) -> float:
+        """Cycles the most-loaded directional link spent transferring."""
+        if not self._links:
+            return 0.0
+        return max(s.bytes_total for s in self._links.values()) / self.bytes_per_cycle
+
+    def energy_picojoules(self, picojoules_per_bit: float) -> float:
+        """Link transfer energy (the paper quotes 10 pJ/bit on-board)."""
+        return self.total_bytes * 8.0 * picojoules_per_bit
+
+    def reset(self) -> None:
+        self._links.clear()
+
+    def __iter__(self) -> Iterator[LinkStats]:
+        return iter(self._links.values())

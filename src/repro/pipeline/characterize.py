@@ -1,0 +1,96 @@
+"""Draw characterisation: scheduled draws -> priced work units.
+
+The :class:`DrawCharacterizer` is the front half of the pipeline model:
+it runs the geometry/SMP stage maths and the fragment-stage demand model
+to produce a :class:`~repro.pipeline.workunit.WorkUnit` the GPM layer
+can execute.  It is deliberately free of any NUMA knowledge — the same
+unit can be bound to any GPM, split across strips, or merged into
+batches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.config import CostModel, SystemConfig
+from repro.memory.address import Touch, vertex_resource
+from repro.pipeline.fragment import depth_and_color_demand, texture_touches_for_draw
+from repro.pipeline.smp import GeometryWork, SMPEngine, SMPMode
+from repro.pipeline.workunit import WorkUnit
+from repro.scene.objects import Eye, StereoDraw
+
+
+class DrawCharacterizer:
+    """Builds work units from scheduled draws under a cost model."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.cost = config.cost
+        self.smp = SMPEngine(config.cost)
+
+    def characterize(
+        self,
+        draw: StereoDraw,
+        mode: SMPMode = SMPMode.SIMULTANEOUS,
+        label: Optional[str] = None,
+    ) -> WorkUnit:
+        """Price ``draw`` into a work unit.
+
+        ``mode`` selects SMP behaviour for ``Eye.BOTH`` draws; per-eye
+        draws ignore it.  SMP multi-view draws share texture footprints
+        across the two views (``view_reuse=2``), which is the texture
+        half of the paper's "data locality between the left and right
+        views of the same object".
+        """
+        cost = self.cost
+        geometry = self.smp.geometry_work(draw, mode)
+        fragments = draw.fragments
+        pixels = draw.covered_pixels
+
+        multi_view = draw.eye is Eye.BOTH and mode is SMPMode.SIMULTANEOUS
+        view_reuse = 2.0 if multi_view else 1.0
+        texel_requests, texture_touches = texture_touches_for_draw(
+            draw.textures, fragments, cost, view_reuse=view_reuse
+        )
+        z_stream, z_unique, fb_write = depth_and_color_demand(
+            fragments, pixels, cost
+        )
+
+        mesh = draw.mesh
+        vertex_bytes = geometry.vertices * cost.bytes_per_vertex
+        vertex_touch = Touch(
+            resource=vertex_resource(
+                draw.obj.object_id, max(1, mesh.vertex_buffer_bytes)
+            ),
+            unique_bytes=float(mesh.vertex_buffer_bytes),
+            stream_bytes=max(float(mesh.vertex_buffer_bytes), vertex_bytes),
+        )
+
+        # Sequential stereo on a BOTH draw issues two passes: the second
+        # pass re-reads the textures with no sharing (temporally distant),
+        # so streams and uniques both double relative to one view.
+        return WorkUnit(
+            label=label or f"{draw.obj.name}:{draw.eye.value}",
+            views=geometry.views,
+            vertices=geometry.vertices,
+            triangles_setup=geometry.triangles_setup,
+            triangles_raster=geometry.triangles_raster,
+            fragments=fragments,
+            pixels_out=pixels,
+            texel_requests=texel_requests,
+            shader_complexity=draw.obj.shader_complexity,
+            texture_touches=texture_touches,
+            vertex_touches=(vertex_touch,),
+            z_stream_bytes=z_stream,
+            z_unique_bytes=z_unique,
+            fb_write_bytes=fb_write,
+            command_bytes=cost.command_bytes_per_draw,
+            viewports=draw.viewports(),
+        )
+
+    def characterize_stereo_pair(self, draw: StereoDraw) -> Tuple[WorkUnit, ...]:
+        """Both per-eye units of an object (sequential stereo trace)."""
+        return tuple(
+            self.characterize(eye_draw, mode=SMPMode.SEQUENTIAL)
+            for eye_draw in draw.obj.stereo_draws()
+        )

@@ -1,0 +1,95 @@
+"""Rasterisation helpers: tiles, strips, and overlap shares.
+
+The raster engine walks 16x16 pixel tiles (Table 2).  For the tile-level
+SFR schemes the interesting question is geometric: given an object's
+screen rectangle and a strip decomposition of the screen, how much of
+the object's fragment work and how much of its *geometry* lands in each
+strip?  Fragments split by covered area; geometry does not split —
+every strip whose rectangle the object overlaps must process the
+triangles that might touch it (sort-first redundancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.scene.geometry import Viewport
+
+#: Raster tile edge in pixels (16x16 tiled rasterisation, Table 2).
+TILE_EDGE = 16
+
+
+def tile_count(viewport: Viewport) -> int:
+    """Number of 16x16 tiles a rectangle touches (ceiling per axis)."""
+    if viewport.area == 0:
+        return 0
+    tiles_x = int(-(-viewport.width // TILE_EDGE))
+    tiles_y = int(-(-viewport.height // TILE_EDGE))
+    return max(1, tiles_x) * max(1, tiles_y)
+
+
+@dataclass(frozen=True)
+class StripShare:
+    """One strip's share of a draw's work."""
+
+    strip_index: int
+    #: Fraction of the draw's fragments falling in this strip.
+    pixel_share: float
+    #: Fraction of the draw's triangles this strip must process.
+    geometry_share: float
+
+
+def strip_shares(
+    viewports: Sequence[Viewport], strips: Sequence[Viewport]
+) -> List[StripShare]:
+    """How a draw spanning ``viewports`` splits across ``strips``.
+
+    Pixel shares are exact area fractions.  The geometry share of an
+    overlapped strip is the full mesh: a sort-first renderer cannot know
+    which triangles land where without transforming them, so each
+    overlapping strip transforms the whole object (this is the
+    "object overlapping across the tiles" redundancy of Section 4.2).
+    Strips with no overlap contribute nothing.
+    """
+    total_area = sum(v.area for v in viewports)
+    shares: List[StripShare] = []
+    for index, strip in enumerate(strips):
+        overlap_area = 0.0
+        overlaps = False
+        for viewport in viewports:
+            inter = viewport.intersection(strip)
+            if inter is not None:
+                overlap_area += inter.area
+                overlaps = True
+        if not overlaps:
+            continue
+        pixel_share = overlap_area / total_area if total_area else 0.0
+        if pixel_share <= 0.0:
+            # Degenerate overlap (zero-area sliver): the strip still
+            # pays geometry to discover it owns no pixels.
+            pixel_share = 0.0
+        shares.append(
+            StripShare(
+                strip_index=index,
+                pixel_share=pixel_share,
+                geometry_share=1.0,
+            )
+        )
+    return shares
+
+
+def normalize_pixel_shares(shares: List[StripShare]) -> List[StripShare]:
+    """Rescale pixel shares to sum to 1 (guard against clipped slivers)."""
+    total = sum(s.pixel_share for s in shares)
+    if total <= 0:
+        if not shares:
+            return shares
+        equal = 1.0 / len(shares)
+        return [
+            StripShare(s.strip_index, equal, s.geometry_share) for s in shares
+        ]
+    return [
+        StripShare(s.strip_index, s.pixel_share / total, s.geometry_share)
+        for s in shares
+    ]

@@ -1,0 +1,256 @@
+"""Work units: the schedulable quanta of rendering work.
+
+A :class:`WorkUnit` is what a framework hands to a GPM: either a whole
+draw, a fraction of a draw (tile-SFR strip share, fine-grained steal
+slice), or a merged batch.  It carries
+
+- stage work *counts* (vertices, triangles, fragments, pixels) that the
+  timing model prices in cycles, and
+- memory *touches* (texture/vertex resources with unique and stream
+  byte counts) that the NUMA layer resolves into local and remote
+  traffic once the unit is bound to a GPM.
+
+Framebuffer and depth traffic are kept as counts, not touches, because
+where those bytes go depends on the framework's framebuffer layout
+(interleaved, master-node, per-GPM private, or DHC-striped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.memory.address import Touch
+from repro.scene.geometry import Viewport
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable piece of rendering work.
+
+    All counts are totals over the unit's views.  ``fraction`` tracks
+    how much of the original draw this unit represents (1.0 = whole),
+    so splits preserve invariants checkable in tests.
+    """
+
+    label: str
+    #: Views produced (1 = mono pass, 2 = SMP multi-view).
+    views: int
+    #: Vertex-shader invocations (SMP shares these across views).
+    vertices: float
+    #: Triangles through primitive setup (per-view duplicates included).
+    triangles_setup: float
+    #: Triangles surviving cull/clip and sent to the rasteriser.
+    triangles_raster: float
+    #: Rasterised fragments (both views).
+    fragments: float
+    #: Pixels written to the framebuffer after depth test.
+    pixels_out: float
+    #: Texture sample requests issued by the fragment stage.
+    texel_requests: float
+    #: Fragment shader cost multiplier.
+    shader_complexity: float
+    #: Texture memory touches (resource-bound).
+    texture_touches: Tuple[Touch, ...]
+    #: Vertex buffer touches (resource-bound); batches carry one per
+    #: merged object so page placement stays per-object.
+    vertex_touches: Tuple[Touch, ...]
+    #: Depth-test request bytes (stream) and touched depth footprint.
+    z_stream_bytes: float
+    z_unique_bytes: float
+    #: Colour bytes written by the ROPs.
+    fb_write_bytes: float
+    #: Command/state bytes the command processor ships to the GPM.
+    command_bytes: float
+    #: Screen rectangles this unit renders into (per view).
+    viewports: Tuple[Viewport, ...]
+    #: Fraction of the source draw this unit represents.
+    fraction: float = 1.0
+    #: Fixed per-unit scheduling overhead multiplier (draw overhead is
+    #: charged once per unit; merged batches amortise it).
+    draw_count: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.views not in (1, 2):
+            raise ValueError("views must be 1 or 2")
+        numeric = (
+            self.vertices,
+            self.triangles_setup,
+            self.triangles_raster,
+            self.fragments,
+            self.pixels_out,
+            self.texel_requests,
+            self.z_stream_bytes,
+            self.z_unique_bytes,
+            self.fb_write_bytes,
+            self.command_bytes,
+        )
+        if any(v < 0 for v in numeric):
+            raise ValueError(f"negative work count in {self.label!r}")
+        if self.shader_complexity <= 0:
+            raise ValueError("shader_complexity must be positive")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+
+    # -- splitting ---------------------------------------------------------
+
+    def split(self, factor: float, label_suffix: str = "part") -> "WorkUnit":
+        """A unit representing ``factor`` of this one.
+
+        Geometry work does *not* scale below the unit level for screen
+        splits — that is handled by the caller via
+        :meth:`with_geometry_share` — but fine-grained stealing slices
+        (the OO-VR straggler mechanism) scale everything uniformly,
+        which is what this method does.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("split factor must be in (0, 1]")
+        return replace(
+            self,
+            label=f"{self.label}/{label_suffix}",
+            vertices=self.vertices * factor,
+            triangles_setup=self.triangles_setup * factor,
+            triangles_raster=self.triangles_raster * factor,
+            fragments=self.fragments * factor,
+            pixels_out=self.pixels_out * factor,
+            texel_requests=self.texel_requests * factor,
+            texture_touches=tuple(t.scaled(factor) for t in self.texture_touches),
+            vertex_touches=tuple(t.scaled(factor) for t in self.vertex_touches),
+            z_stream_bytes=self.z_stream_bytes * factor,
+            z_unique_bytes=self.z_unique_bytes * factor,
+            fb_write_bytes=self.fb_write_bytes * factor,
+            command_bytes=self.command_bytes * factor,
+            fraction=self.fraction * factor,
+            draw_count=self.draw_count * factor,
+        )
+
+    def with_screen_share(
+        self,
+        pixel_share: float,
+        geometry_share: float,
+        unique_inflation: float,
+        label_suffix: str,
+        stream_inflation: float = 1.0,
+    ) -> "WorkUnit":
+        """A unit covering ``pixel_share`` of the screen work.
+
+        Used by tile-SFR: the fragment-side work scales with the strip's
+        pixel share, the geometry side with the fraction of triangles
+        overlapping the strip (``geometry_share``), and per-texture
+        *unique* footprints scale by ``pixel_share * unique_inflation``
+        (capped at 1): neighbouring strips re-touch border texels and
+        shared mip levels, so unique bytes do not divide cleanly —
+        that redundancy is exactly why tile-SFR inflates traffic.
+        """
+        if not 0.0 < pixel_share <= 1.0:
+            raise ValueError("pixel_share must be in (0, 1]")
+        if not 0.0 < geometry_share <= 1.0:
+            raise ValueError("geometry_share must be in (0, 1]")
+        if unique_inflation < 1.0:
+            raise ValueError("unique_inflation is at least 1")
+        if stream_inflation < 1.0:
+            raise ValueError("stream_inflation is at least 1")
+        unique_share = min(1.0, pixel_share * unique_inflation)
+        stream_share = min(1.0, pixel_share * stream_inflation)
+        touches = []
+        for touch in self.texture_touches:
+            touches.append(
+                Touch(
+                    resource=touch.resource,
+                    unique_bytes=touch.unique_bytes * unique_share,
+                    stream_bytes=touch.stream_bytes * stream_share,
+                    write_bytes=touch.write_bytes * pixel_share,
+                )
+            )
+        return replace(
+            self,
+            label=f"{self.label}/{label_suffix}",
+            vertices=self.vertices * geometry_share,
+            triangles_setup=self.triangles_setup * geometry_share,
+            triangles_raster=self.triangles_raster * geometry_share,
+            fragments=self.fragments * pixel_share,
+            pixels_out=self.pixels_out * pixel_share,
+            texel_requests=self.texel_requests * pixel_share,
+            texture_touches=tuple(touches),
+            vertex_touches=tuple(
+                t.scaled(geometry_share) for t in self.vertex_touches
+            ),
+            z_stream_bytes=self.z_stream_bytes * pixel_share,
+            z_unique_bytes=self.z_unique_bytes * pixel_share,
+            fb_write_bytes=self.fb_write_bytes * pixel_share,
+            command_bytes=self.command_bytes,
+            fraction=self.fraction * pixel_share,
+            draw_count=self.draw_count,
+        )
+
+    # -- aggregate properties ----------------------------------------------
+
+    @property
+    def texture_unique_bytes(self) -> float:
+        return sum(t.unique_bytes for t in self.texture_touches)
+
+    @property
+    def texture_stream_bytes(self) -> float:
+        return sum(t.stream_bytes for t in self.texture_touches)
+
+
+def merge_units(label: str, units: Tuple[WorkUnit, ...]) -> WorkUnit:
+    """Concatenate several units into one batch-level unit.
+
+    Used by the OO middleware after grouping objects into a batch: the
+    batch is scheduled as one quantum, its draw overheads amortised by
+    the command processor submitting them back to back.
+    """
+    if not units:
+        raise ValueError("cannot merge zero units")
+    views = max(u.views for u in units)
+    touches: dict = {}
+    for unit in units:
+        for touch in unit.texture_touches:
+            prev = touches.get(touch.resource.resource_id)
+            if prev is None:
+                touches[touch.resource.resource_id] = Touch(
+                    resource=touch.resource,
+                    unique_bytes=touch.unique_bytes,
+                    stream_bytes=touch.stream_bytes,
+                    write_bytes=touch.write_bytes,
+                )
+            else:
+                # Shared texture within the batch: streams add, but the
+                # unique footprint is shared (this is the TSL payoff —
+                # the second object re-reads cached data).
+                touches[touch.resource.resource_id] = Touch(
+                    resource=touch.resource,
+                    unique_bytes=max(prev.unique_bytes, touch.unique_bytes),
+                    stream_bytes=prev.stream_bytes + touch.stream_bytes,
+                    write_bytes=prev.write_bytes + touch.write_bytes,
+                )
+    vertex_touches: list = []
+    for unit in units:
+        vertex_touches.extend(unit.vertex_touches)
+    viewports: list = []
+    for unit in units:
+        viewports.extend(unit.viewports)
+    return WorkUnit(
+        label=label,
+        views=views,
+        vertices=sum(u.vertices for u in units),
+        triangles_setup=sum(u.triangles_setup for u in units),
+        triangles_raster=sum(u.triangles_raster for u in units),
+        fragments=sum(u.fragments for u in units),
+        pixels_out=sum(u.pixels_out for u in units),
+        texel_requests=sum(u.texel_requests for u in units),
+        shader_complexity=(
+            sum(u.shader_complexity * u.fragments for u in units)
+            / max(1.0, sum(u.fragments for u in units))
+        ),
+        texture_touches=tuple(touches.values()),
+        vertex_touches=tuple(vertex_touches),
+        z_stream_bytes=sum(u.z_stream_bytes for u in units),
+        z_unique_bytes=sum(u.z_unique_bytes for u in units),
+        fb_write_bytes=sum(u.fb_write_bytes for u in units),
+        command_bytes=sum(u.command_bytes for u in units),
+        viewports=tuple(viewports),
+        fraction=1.0,
+        draw_count=sum(u.draw_count for u in units),
+    )

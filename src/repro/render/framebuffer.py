@@ -1,0 +1,131 @@
+"""Colour + depth render targets and PPM image output.
+
+A :class:`FrameBuffer` is what the rasterizer draws into: an RGB colour
+plane (uint8) and a float depth plane using the OpenGL convention that
+*smaller* depth is nearer after the NDC mapping (cleared to ``+inf``).
+PPM (P6) output keeps the package dependency-free while still producing
+images any viewer opens — the Fig. 5 reproduction writes these.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import struct
+import zlib
+from typing import Tuple, Union
+
+import numpy as np
+
+__all__ = ["FrameBuffer", "side_by_side"]
+
+
+class FrameBuffer:
+    """A ``width x height`` RGB + depth render target.
+
+    Pixel ``(x, y)`` uses screen convention: ``x`` grows right,
+    ``y`` grows *down* (row 0 is the top of the image), matching the
+    raster coordinates the viewport transform emits.
+    """
+
+    def __init__(self, width: int, height: int) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("framebuffer dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.color = np.zeros((height, width, 3), dtype=np.uint8)
+        self.depth = np.full((height, width), np.inf, dtype=np.float64)
+        #: Pixels written since the last clear (colour writes, not tests).
+        self.pixels_written = 0
+
+    def clear(
+        self, color: Tuple[int, int, int] = (0, 0, 0), depth: float = np.inf
+    ) -> None:
+        """Reset both planes and the write counter."""
+        self.color[:, :] = np.asarray(color, dtype=np.uint8)
+        self.depth[:, :] = depth
+        self.pixels_written = 0
+
+    @property
+    def resolution(self) -> Tuple[int, int]:
+        return (self.width, self.height)
+
+    def covered_mask(self) -> np.ndarray:
+        """Boolean mask of pixels whose depth has been written."""
+        return np.isfinite(self.depth)
+
+    def covered_pixels(self) -> int:
+        """Number of pixels any draw has landed on since the clear."""
+        return int(self.covered_mask().sum())
+
+    def write_ppm(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the colour plane as a binary PPM (P6) image."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = f"P6\n{self.width} {self.height}\n255\n".encode("ascii")
+        with open(path, "wb") as handle:
+            handle.write(header)
+            handle.write(self.color.tobytes())
+        return path
+
+    def write_png(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the colour plane as an RGB PNG (stdlib zlib only)."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+
+        def chunk(tag: bytes, payload: bytes) -> bytes:
+            crc = zlib.crc32(tag + payload) & 0xFFFFFFFF
+            return struct.pack(">I", len(payload)) + tag + payload + struct.pack(">I", crc)
+
+        header = struct.pack(">IIBBBBB", self.width, self.height, 8, 2, 0, 0, 0)
+        # Each scanline is prefixed with filter type 0 (None).
+        raw = b"".join(
+            b"\x00" + self.color[row].tobytes() for row in range(self.height)
+        )
+        payload = (
+            b"\x89PNG\r\n\x1a\n"
+            + chunk(b"IHDR", header)
+            + chunk(b"IDAT", zlib.compress(raw, 6))
+            + chunk(b"IEND", b"")
+        )
+        path.write_bytes(payload)
+        return path
+
+    def write_depth_pgm(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the depth plane as a grayscale PGM (P5) image.
+
+        Finite depths are normalised to [0, 254] (near = bright);
+        uncovered pixels are 255 (white), making coverage easy to see.
+        """
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        finite = np.isfinite(self.depth)
+        img = np.full((self.height, self.width), 255, dtype=np.uint8)
+        if finite.any():
+            values = self.depth[finite]
+            lo, hi = float(values.min()), float(values.max())
+            span = (hi - lo) or 1.0
+            img[finite] = (254 * (1.0 - (self.depth[finite] - lo) / span)).astype(
+                np.uint8
+            )
+        header = f"P5\n{self.width} {self.height}\n255\n".encode("ascii")
+        with open(path, "wb") as handle:
+            handle.write(header)
+            handle.write(img.tobytes())
+        return path
+
+
+def side_by_side(left: FrameBuffer, right: FrameBuffer) -> FrameBuffer:
+    """The HMD view: left and right eye images packed side by side.
+
+    This is the stereo framebuffer layout of the paper's Fig. 5 —
+    the display frame spans ``[-W, +W]`` with each eye owning half.
+    """
+    if left.resolution != right.resolution:
+        raise ValueError("stereo pair must share one resolution")
+    packed = FrameBuffer(left.width * 2, left.height)
+    packed.color[:, : left.width] = left.color
+    packed.color[:, left.width :] = right.color
+    packed.depth[:, : left.width] = left.depth
+    packed.depth[:, left.width :] = right.depth
+    packed.pixels_written = left.pixels_written + right.pixels_written
+    return packed

@@ -1,0 +1,257 @@
+"""Triangle meshes and the procedural shapes the examples render.
+
+A :class:`TriangleMesh` stores vertex positions, per-vertex UVs, and an
+index buffer; procedural constructors build the props of a small VR
+scene (pillars, flags, ground, spheres) so the Fig. 5 experiment has
+actual geometry to rasterise.  Mesh statistics convert directly into
+the statistical :class:`~repro.scene.geometry.Mesh` used by the
+simulator, which is how :mod:`repro.render.validate` ties measured and
+modelled workloads together.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.render.math3d import transform_points
+from repro.scene.geometry import Mesh
+
+__all__ = [
+    "TriangleMesh",
+    "make_box",
+    "make_checker_ground",
+    "make_cylinder",
+    "make_icosphere",
+    "make_quad",
+]
+
+#: Bytes per vertex assumed by the statistical model: position (12),
+#: normal (12) and UV (8), matching the default in scene.geometry.Mesh.
+VERTEX_BYTES = 32
+
+
+@dataclass(frozen=True)
+class TriangleMesh:
+    """An indexed triangle mesh.
+
+    Parameters
+    ----------
+    positions:
+        ``(V, 3)`` float64 vertex positions in model space.
+    uvs:
+        ``(V, 2)`` float64 texture coordinates in ``[0, 1]``.
+    faces:
+        ``(T, 3)`` int32 vertex indices, counter-clockwise when viewed
+        from the outside (front faces).
+    """
+
+    positions: np.ndarray
+    uvs: np.ndarray
+    faces: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError("positions must have shape (V, 3)")
+        if self.uvs.shape != (len(self.positions), 2):
+            raise ValueError("uvs must have shape (V, 2)")
+        if self.faces.ndim != 2 or self.faces.shape[1] != 3:
+            raise ValueError("faces must have shape (T, 3)")
+        if len(self.faces) and (
+            self.faces.min() < 0 or self.faces.max() >= len(self.positions)
+        ):
+            raise ValueError("face indices out of range")
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.positions)
+
+    @property
+    def num_triangles(self) -> int:
+        return len(self.faces)
+
+    def transformed(self, matrix: np.ndarray) -> "TriangleMesh":
+        """This mesh with ``matrix`` applied to every vertex."""
+        homo = transform_points(matrix, self.positions)
+        w = homo[:, 3:4]
+        if np.any(w == 0):
+            raise ValueError("transform produced w=0 vertices")
+        return TriangleMesh(homo[:, :3] / w, self.uvs.copy(), self.faces.copy())
+
+    def merged_with(self, other: "TriangleMesh") -> "TriangleMesh":
+        """The union mesh (other's indices are re-based)."""
+        return TriangleMesh(
+            np.vstack([self.positions, other.positions]),
+            np.vstack([self.uvs, other.uvs]),
+            np.vstack([self.faces, other.faces + self.num_vertices]),
+        )
+
+    def stats_mesh(self, vertex_bytes: int = VERTEX_BYTES) -> Mesh:
+        """The statistical-simulator view of this geometry."""
+        return Mesh(
+            num_vertices=self.num_vertices,
+            num_triangles=self.num_triangles,
+            vertex_bytes=vertex_bytes,
+        )
+
+
+def _mesh(positions, uvs, faces) -> TriangleMesh:
+    return TriangleMesh(
+        np.asarray(positions, dtype=np.float64),
+        np.asarray(uvs, dtype=np.float64),
+        np.asarray(faces, dtype=np.int32),
+    )
+
+
+def make_quad(width: float = 1.0, height: float = 1.0) -> TriangleMesh:
+    """A unit quad in the xy-plane, centred at the origin, facing +z."""
+    if width <= 0 or height <= 0:
+        raise ValueError("quad dimensions must be positive")
+    hw, hh = width / 2.0, height / 2.0
+    positions = [(-hw, -hh, 0), (hw, -hh, 0), (hw, hh, 0), (-hw, hh, 0)]
+    uvs = [(0, 0), (1, 0), (1, 1), (0, 1)]
+    faces = [(0, 1, 2), (0, 2, 3)]
+    return _mesh(positions, uvs, faces)
+
+
+def make_box(
+    size_x: float = 1.0, size_y: float = 1.0, size_z: float = 1.0
+) -> TriangleMesh:
+    """An axis-aligned box centred at the origin (12 triangles)."""
+    if min(size_x, size_y, size_z) <= 0:
+        raise ValueError("box dimensions must be positive")
+    hx, hy, hz = size_x / 2.0, size_y / 2.0, size_z / 2.0
+    positions = []
+    uvs = []
+    faces = []
+    # One quad per face, with outward winding.
+    quads = [
+        # (corner order), normal axis commentary is implicit in winding.
+        [(-hx, -hy, hz), (hx, -hy, hz), (hx, hy, hz), (-hx, hy, hz)],  # +z
+        [(hx, -hy, -hz), (-hx, -hy, -hz), (-hx, hy, -hz), (hx, hy, -hz)],  # -z
+        [(hx, -hy, hz), (hx, -hy, -hz), (hx, hy, -hz), (hx, hy, hz)],  # +x
+        [(-hx, -hy, -hz), (-hx, -hy, hz), (-hx, hy, hz), (-hx, hy, -hz)],  # -x
+        [(-hx, hy, hz), (hx, hy, hz), (hx, hy, -hz), (-hx, hy, -hz)],  # +y
+        [(-hx, -hy, -hz), (hx, -hy, -hz), (hx, -hy, hz), (-hx, -hy, hz)],  # -y
+    ]
+    for quad in quads:
+        base = len(positions)
+        positions.extend(quad)
+        uvs.extend([(0, 0), (1, 0), (1, 1), (0, 1)])
+        faces.append((base, base + 1, base + 2))
+        faces.append((base, base + 2, base + 3))
+    return _mesh(positions, uvs, faces)
+
+
+def make_cylinder(
+    radius: float = 0.5,
+    height: float = 2.0,
+    segments: int = 16,
+) -> TriangleMesh:
+    """An open-ended cylinder along +y — the scene's "pillar" prop."""
+    if radius <= 0 or height <= 0:
+        raise ValueError("cylinder dimensions must be positive")
+    if segments < 3:
+        raise ValueError("need at least 3 segments")
+    positions = []
+    uvs = []
+    faces = []
+    for i in range(segments + 1):
+        angle = 2.0 * math.pi * i / segments
+        x, z = radius * math.cos(angle), radius * math.sin(angle)
+        u = i / segments
+        positions.append((x, 0.0, z))
+        uvs.append((u, 0.0))
+        positions.append((x, height, z))
+        uvs.append((u, 1.0))
+    for i in range(segments):
+        b = 2 * i
+        # Wind so outward faces are counter-clockwise from outside.
+        faces.append((b, b + 2, b + 3))
+        faces.append((b, b + 3, b + 1))
+    return _mesh(positions, uvs, faces)
+
+
+def make_checker_ground(
+    extent: float = 20.0, tiles: int = 8
+) -> TriangleMesh:
+    """A tessellated ground plane at y=0 (two triangles per tile)."""
+    if extent <= 0:
+        raise ValueError("extent must be positive")
+    if tiles < 1:
+        raise ValueError("need at least one tile")
+    positions = []
+    uvs = []
+    faces = []
+    step = 2.0 * extent / tiles
+    for row in range(tiles + 1):
+        for col in range(tiles + 1):
+            x = -extent + col * step
+            z = -extent + row * step
+            positions.append((x, 0.0, z))
+            uvs.append((col / tiles, row / tiles))
+    stride = tiles + 1
+    for row in range(tiles):
+        for col in range(tiles):
+            a = row * stride + col
+            b = a + 1
+            c = a + stride
+            d = c + 1
+            # Up-facing (+y) winding.
+            faces.append((a, d, b))
+            faces.append((a, c, d))
+    return _mesh(positions, uvs, faces)
+
+
+def make_icosphere(radius: float = 1.0, subdivisions: int = 1) -> TriangleMesh:
+    """A geodesic sphere built by subdividing an icosahedron.
+
+    ``subdivisions=0`` gives 20 triangles; each level quadruples the
+    count (level 2 is 320 triangles — plenty for a scene prop).
+    """
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    if not 0 <= subdivisions <= 4:
+        raise ValueError("subdivisions must be in [0, 4]")
+    phi = (1.0 + math.sqrt(5.0)) / 2.0
+    raw = [
+        (-1, phi, 0), (1, phi, 0), (-1, -phi, 0), (1, -phi, 0),
+        (0, -1, phi), (0, 1, phi), (0, -1, -phi), (0, 1, -phi),
+        (phi, 0, -1), (phi, 0, 1), (-phi, 0, -1), (-phi, 0, 1),
+    ]
+    verts = [tuple(np.asarray(v) / np.linalg.norm(v)) for v in raw]
+    faces = [
+        (0, 11, 5), (0, 5, 1), (0, 1, 7), (0, 7, 10), (0, 10, 11),
+        (1, 5, 9), (5, 11, 4), (11, 10, 2), (10, 7, 6), (7, 1, 8),
+        (3, 9, 4), (3, 4, 2), (3, 2, 6), (3, 6, 8), (3, 8, 9),
+        (4, 9, 5), (2, 4, 11), (6, 2, 10), (8, 6, 7), (9, 8, 1),
+    ]
+    for _ in range(subdivisions):
+        midpoint_cache: dict[Tuple[int, int], int] = {}
+
+        def midpoint(a: int, b: int) -> int:
+            key = (min(a, b), max(a, b))
+            if key in midpoint_cache:
+                return midpoint_cache[key]
+            mid = np.asarray(verts[a]) + np.asarray(verts[b])
+            mid = mid / np.linalg.norm(mid)
+            verts.append(tuple(mid))
+            midpoint_cache[key] = len(verts) - 1
+            return midpoint_cache[key]
+
+        new_faces = []
+        for a, b, c in faces:
+            ab, bc, ca = midpoint(a, b), midpoint(b, c), midpoint(c, a)
+            new_faces.extend(
+                [(a, ab, ca), (b, bc, ab), (c, ca, bc), (ab, bc, ca)]
+            )
+        faces = new_faces
+    positions = np.asarray(verts, dtype=np.float64) * radius
+    # Spherical UVs.
+    uvs = np.zeros((len(positions), 2))
+    uvs[:, 0] = 0.5 + np.arctan2(positions[:, 2], positions[:, 0]) / (2 * math.pi)
+    uvs[:, 1] = 0.5 + np.arcsin(np.clip(positions[:, 1] / radius, -1, 1)) / math.pi
+    return _mesh(positions, uvs, np.asarray(faces, dtype=np.int32))

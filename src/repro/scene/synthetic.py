@@ -1,0 +1,250 @@
+"""Seeded synthetic scene generation.
+
+The paper drives ATTILA-sim with OpenGL/Direct3D traces of five
+commercial games (Table 3).  Those traces are not redistributable, so the
+reproduction generates *statistically similar* scenes: the knobs that the
+paper's mechanisms care about are
+
+- the number of draws per frame (Table 3's ``#Draw`` column),
+- the heavy-tailed distribution of triangles per draw (load imbalance,
+  Fig. 10),
+- the material pool size and reuse pattern (texture sharing level — the
+  entire premise of OO-VR batching),
+- per-eye screen footprints with small stereo disparity (left/right view
+  redundancy exploited by SMP),
+- the vertical skew of content (grounds/walls are denser than skies),
+  which is what breaks tile-level SFR (H),
+- overdraw and shader cost (fragment-stage load).
+
+Everything is generated from a seeded :class:`numpy.random.Generator`, so
+scenes are reproducible bit-for-bit across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.scene.geometry import Mesh, Viewport
+from repro.scene.objects import RenderObject
+from repro.scene.scene import Frame, Scene
+from repro.scene.texture import Texture, TexturePool
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class SceneProfile:
+    """Statistical shape of one application's frames.
+
+    Parameters are per-frame unless stated otherwise.  Defaults are a
+    generic mid-2000s PC game; the Table 3 suite overrides them per
+    title (see :mod:`repro.scene.benchmarks`).
+    """
+
+    name: str
+    num_objects: int
+    width: int
+    height: int
+    #: Median triangles per draw; draws are log-normal around this.
+    triangles_median: float = 800.0
+    #: Log-normal sigma of triangles per draw (tail heaviness).
+    triangles_sigma: float = 1.1
+    #: Number of distinct materials (textures) in the pool.
+    num_materials: int = 120
+    #: Zipf exponent for material popularity: higher = more sharing.
+    material_zipf: float = 1.1
+    #: Textures bound per draw (diffuse + normal + specular ...).
+    textures_per_object: Tuple[int, int] = (1, 4)
+    #: Median texture size in bytes.
+    texture_bytes_median: float = 1.0 * MB
+    #: Log-normal sigma of texture sizes.
+    texture_bytes_sigma: float = 0.8
+    #: Mean depth complexity (overdraw) across draws.
+    depth_complexity_mean: float = 1.35
+    #: Mean fragment-shader complexity multiplier.
+    shader_complexity_mean: float = 1.0
+    #: Median object footprint as a fraction of the eye viewport area.
+    footprint_median: float = 0.012
+    #: Log-normal sigma of footprint areas.
+    footprint_sigma: float = 1.0
+    #: Vertical content skew in [0, 1): 0 = uniform, higher pushes
+    #: object centres towards the lower half of the screen.
+    vertical_skew: float = 0.25
+    #: Maximum stereo disparity as a fraction of eye width.
+    max_disparity: float = 0.035
+    #: Fraction of objects visible in only one eye (HUD, near-edge).
+    mono_fraction: float = 0.05
+    #: Fraction of draws that depend on the previous draw (blending).
+    dependency_fraction: float = 0.06
+
+    def validate(self) -> None:
+        if self.num_objects <= 0:
+            raise ValueError("profile needs at least one object")
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("resolution must be positive")
+        if self.num_materials <= 0:
+            raise ValueError("profile needs at least one material")
+        if not 0 <= self.mono_fraction < 1:
+            raise ValueError("mono_fraction must be in [0, 1)")
+        if not 0 <= self.vertical_skew < 1:
+            raise ValueError("vertical_skew must be in [0, 1)")
+        lo, hi = self.textures_per_object
+        if lo < 1 or hi < lo:
+            raise ValueError("textures_per_object must be a valid range")
+
+
+class SyntheticSceneGenerator:
+    """Generates :class:`~repro.scene.scene.Scene` objects from a profile.
+
+    One generator owns one texture pool, so all frames of the scene share
+    materials exactly as a real game reuses its assets across frames.
+    """
+
+    def __init__(self, profile: SceneProfile, seed: int = 2019) -> None:
+        profile.validate()
+        self.profile = profile
+        self._rng = np.random.default_rng(seed)
+        self._pool = TexturePool()
+        self._materials: List[Texture] = []
+        self._material_popularity: Optional[np.ndarray] = None
+        self._build_materials()
+
+    # -- materials -------------------------------------------------------
+
+    def _build_materials(self) -> None:
+        """Create the texture pool with a Zipf popularity distribution.
+
+        A few materials ("stone", lightmap atlases) are used by many
+        objects; most are used by one or two.  This produces exactly the
+        sharing structure that Eq. 1's TSL detects.
+        """
+        p = self.profile
+        sizes = self._rng.lognormal(
+            mean=math.log(p.texture_bytes_median),
+            sigma=p.texture_bytes_sigma,
+            size=p.num_materials,
+        )
+        for index, size in enumerate(sizes):
+            size_bytes = int(max(64 * KB, min(size, 16 * MB)))
+            self._materials.append(
+                self._pool.get_or_create(f"{p.name}/mat{index:04d}", size_bytes)
+            )
+        ranks = np.arange(1, p.num_materials + 1, dtype=float)
+        weights = ranks ** (-p.material_zipf)
+        self._material_popularity = weights / weights.sum()
+
+    @property
+    def texture_pool(self) -> TexturePool:
+        return self._pool
+
+    def _pick_textures(self) -> Tuple[Texture, ...]:
+        p = self.profile
+        lo, hi = p.textures_per_object
+        count = int(self._rng.integers(lo, hi + 1))
+        count = min(count, len(self._materials))
+        indices = self._rng.choice(
+            len(self._materials),
+            size=count,
+            replace=False,
+            p=self._material_popularity,
+        )
+        return tuple(self._materials[i] for i in sorted(indices))
+
+    # -- placement --------------------------------------------------------
+
+    def _object_viewports(
+        self,
+    ) -> Tuple[Optional[Viewport], Optional[Viewport], float]:
+        """Left/right eye rectangles plus the object's footprint area."""
+        p = self.profile
+        eye_area = p.width * p.height
+        area = eye_area * float(
+            self._rng.lognormal(math.log(p.footprint_median), p.footprint_sigma)
+        )
+        area = min(area, 0.85 * eye_area)
+        area = max(area, 64.0)
+        aspect = float(self._rng.uniform(0.5, 2.0))
+        w = min(math.sqrt(area * aspect), 0.95 * p.width)
+        h = min(area / w, 0.95 * p.height)
+
+        cx = float(self._rng.uniform(w / 2, p.width - w / 2))
+        # Vertical skew: blend a uniform sample towards the lower half.
+        u = float(self._rng.uniform(0.0, 1.0))
+        skewed = u ** (1.0 / (1.0 + 2.5 * p.vertical_skew))
+        cy = h / 2 + skewed * (p.height - h)
+        cy = min(max(cy, h / 2), p.height - h / 2)
+
+        left = Viewport(cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2)
+        disparity = float(self._rng.uniform(-1.0, 1.0)) * p.max_disparity * p.width
+        right = left.shifted(disparity)
+        bounds = Viewport(0.0, 0.0, float(p.width), float(p.height))
+        right_clamped = right.clamped(bounds)
+
+        if self._rng.uniform() < p.mono_fraction:
+            if self._rng.uniform() < 0.5:
+                return left, None, area
+            return None, right_clamped or left, area
+        return left, right_clamped or left, area
+
+    # -- objects ----------------------------------------------------------
+
+    def _make_object(self, object_id: int, prev_id: Optional[int]) -> RenderObject:
+        p = self.profile
+        triangles = int(
+            max(
+                8,
+                self._rng.lognormal(math.log(p.triangles_median), p.triangles_sigma),
+            )
+        )
+        # Indexed meshes: ~0.6 vertices per triangle for typical reuse.
+        vertices = max(3, int(triangles * float(self._rng.uniform(0.5, 0.75))))
+        left, right, _area = self._object_viewports()
+        depth = 1.0 + float(
+            self._rng.gamma(shape=2.0, scale=(p.depth_complexity_mean - 1.0) / 2.0)
+        )
+        shader = float(
+            max(0.25, self._rng.normal(p.shader_complexity_mean, 0.25))
+        )
+        coverage = float(self._rng.uniform(0.30, 0.75))
+        depends: Optional[int] = None
+        if prev_id is not None and self._rng.uniform() < p.dependency_fraction:
+            depends = prev_id
+        return RenderObject(
+            object_id=object_id,
+            name=f"{p.name}/obj{object_id:05d}",
+            mesh=Mesh(vertices, triangles),
+            textures=self._pick_textures(),
+            viewport_left=left,
+            viewport_right=right,
+            depth_complexity=depth,
+            shader_complexity=shader,
+            coverage=coverage,
+            depends_on=depends,
+        )
+
+    # -- frames and scenes --------------------------------------------------
+
+    def make_frame(self, frame_id: int = 0) -> Frame:
+        """Generate one frame with ``profile.num_objects`` draws."""
+        objects: List[RenderObject] = []
+        prev_id: Optional[int] = None
+        for index in range(self.profile.num_objects):
+            obj = self._make_object(index, prev_id)
+            objects.append(obj)
+            prev_id = obj.object_id
+        return Frame(
+            objects=tuple(objects),
+            width=self.profile.width,
+            height=self.profile.height,
+            frame_id=frame_id,
+        )
+
+    def make_scene(self, num_frames: int = 4) -> Scene:
+        """Generate a scene of ``num_frames`` frames sharing one pool."""
+        frames = tuple(self.make_frame(i) for i in range(num_frames))
+        return Scene(name=self.profile.name, frames=frames)

@@ -1,0 +1,22 @@
+"""Metrics, results, and reporting."""
+
+from repro.stats.metrics import (
+    FrameResult,
+    SceneResult,
+    TrafficBreakdown,
+    UnitExecution,
+    geomean,
+    normalize,
+)
+from repro.stats.reporting import format_table, series_table
+
+__all__ = [
+    "FrameResult",
+    "SceneResult",
+    "TrafficBreakdown",
+    "UnitExecution",
+    "geomean",
+    "normalize",
+    "format_table",
+    "series_table",
+]

@@ -1,0 +1,179 @@
+"""Result records for frames, scenes, and work units.
+
+Everything the figures need is collected here: cycles (single-frame
+latency and scene throughput), per-GPM busy times (load balance,
+Fig. 10), and inter-GPM byte counts by traffic type (Figs. 9 and 16).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.memory.link import TrafficType
+
+
+@dataclass(frozen=True)
+class UnitExecution:
+    """Outcome of one work unit on one GPM."""
+
+    gpm: int
+    compute_cycles: float
+    local_dram_cycles: float
+    link_cycles: float
+    cycles: float
+    remote_bytes: float
+    bottleneck: str
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError("negative execution time")
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """Inter-GPM bytes by traffic type for one frame."""
+
+    by_type: Mapping[TrafficType, float]
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(self.by_type.values())
+
+    def bytes_of(self, traffic: TrafficType) -> float:
+        return self.by_type.get(traffic, 0.0)
+
+    def merged_with(self, other: "TrafficBreakdown") -> "TrafficBreakdown":
+        merged: Dict[TrafficType, float] = dict(self.by_type)
+        for key, value in other.by_type.items():
+            merged[key] = merged.get(key, 0.0) + value
+        return TrafficBreakdown(merged)
+
+
+@dataclass(frozen=True)
+class FrameResult:
+    """Timing and traffic of one rendered frame."""
+
+    framework: str
+    workload: str
+    #: End-to-end single-frame latency in cycles (render + composition).
+    cycles: float
+    #: Render-phase busy cycles per GPM (before composition).
+    gpm_busy_cycles: Sequence[float]
+    #: Composition-phase critical path in cycles.
+    composition_cycles: float
+    traffic: TrafficBreakdown
+    #: Local DRAM bytes actually moved, per GPM.
+    dram_bytes: Sequence[float]
+    #: Total memory footprint placed (replicas included).
+    resident_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ValueError("frame must take positive time")
+
+    @property
+    def inter_gpm_bytes(self) -> float:
+        return self.traffic.total_bytes
+
+    @property
+    def busiest_gpm_cycles(self) -> float:
+        return max(self.gpm_busy_cycles) if self.gpm_busy_cycles else 0.0
+
+    @property
+    def load_balance_ratio(self) -> float:
+        """Best-to-worst GPM ratio (Fig. 10): worst busy / best busy.
+
+        GPMs with zero work are excluded (a GPM that never rendered is
+        not a "best performer", it just never participated).
+        """
+        active = [c for c in self.gpm_busy_cycles if c > 0]
+        if len(active) < 2:
+            return 1.0
+        return max(active) / min(active)
+
+    def latency_ms(self, clock_hz: float = 1e9) -> float:
+        return self.cycles / clock_hz * 1e3
+
+
+@dataclass(frozen=True)
+class SceneResult:
+    """Multi-frame outcome: throughput vs. single-frame latency.
+
+    ``frame_interval_cycles`` is the steady-state cycles between frame
+    completions (for pipelined schemes like AFR it is smaller than the
+    single-frame latency); overall performance (frame rate) is its
+    inverse.
+    """
+
+    framework: str
+    workload: str
+    frames: Sequence[FrameResult]
+    frame_interval_cycles: float
+
+    def __post_init__(self) -> None:
+        if not self.frames:
+            raise ValueError("scene result needs at least one frame")
+        if self.frame_interval_cycles <= 0:
+            raise ValueError("frame interval must be positive")
+
+    @property
+    def steady_frames(self) -> Sequence[FrameResult]:
+        """Frames past the cold start.
+
+        Frame 0 pays first-touch placement, cold pre-allocation copies
+        and empty caches; the paper's measurements are steady state
+        ("we let all the workloads run to completion ... and gather the
+        average frame latency"), so metrics skip it when possible.
+        """
+        return self.frames[1:] if len(self.frames) > 1 else self.frames
+
+    @property
+    def single_frame_cycles(self) -> float:
+        """Steady-state single-frame latency."""
+        frames = self.steady_frames
+        return sum(f.cycles for f in frames) / len(frames)
+
+    @property
+    def throughput_fps(self) -> float:
+        """Frames per second at the 1 GHz baseline clock."""
+        return 1e9 / self.frame_interval_cycles
+
+    @property
+    def traffic(self) -> TrafficBreakdown:
+        out = TrafficBreakdown({})
+        for frame in self.frames:
+            out = out.merged_with(frame.traffic)
+        return out
+
+    @property
+    def mean_inter_gpm_bytes_per_frame(self) -> float:
+        """Steady-state inter-GPM traffic per frame."""
+        frames = self.steady_frames
+        return sum(f.inter_gpm_bytes for f in frames) / len(frames)
+
+    @property
+    def mean_load_balance_ratio(self) -> float:
+        frames = self.steady_frames
+        return sum(f.load_balance_ratio for f in frames) / len(frames)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; the conventional average for speedup series."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        raise ValueError("geomean needs positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def normalize(
+    values: Mapping[str, float], baseline_key: str
+) -> Dict[str, float]:
+    """Each entry divided by the baseline entry (paper-style bars)."""
+    if baseline_key not in values:
+        raise KeyError(f"baseline {baseline_key!r} missing from {sorted(values)}")
+    base = values[baseline_key]
+    if base == 0:
+        raise ValueError("baseline value is zero")
+    return {key: value / base for key, value in values.items()}

@@ -1,0 +1,105 @@
+"""Terminal bar charts for figure results.
+
+The paper's figures are grouped bar charts; this module renders the
+same data as Unicode bar rows so `oovr fig <n>` output can be *read*
+like the figure instead of only as a numeric table.  Pure string
+formatting — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+#: Eighth-block characters for sub-cell bar resolution.
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A left-aligned bar of ``value`` at ``scale`` units per ``width``."""
+    if value <= 0 or scale <= 0:
+        return ""
+    cells = value / scale * width
+    full = int(cells)
+    remainder = cells - full
+    bar = "█" * min(full, width)
+    if full < width:
+        eighth = int(remainder * 8)
+        if eighth:
+            bar += _BLOCKS[eighth]
+    return bar
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    reference: Optional[float] = None,
+) -> str:
+    """One bar per entry, labelled and annotated with its value.
+
+    ``reference`` draws a marker column (e.g. the 1.0 normalisation
+    line) so above/below-baseline reads at a glance.
+    """
+    if not values:
+        raise ValueError("nothing to plot")
+    if width < 8:
+        raise ValueError("width must be at least 8 columns")
+    peak = max(max(values.values()), reference or 0.0)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(k)) for k in values)
+    lines = []
+    if title:
+        lines.append(title)
+    marker_col = None
+    if reference is not None and reference > 0:
+        marker_col = int(reference / peak * width)
+    for key, value in values.items():
+        bar = _bar(value, peak, width)
+        if marker_col is not None and marker_col < width:
+            padded = bar.ljust(width)
+            glyph = "┆" if len(bar) <= marker_col else "┼"
+            padded = padded[:marker_col] + glyph + padded[marker_col + 1 :]
+            bar = padded.rstrip()
+        lines.append(f"{key:<{label_width}}  {bar} {value:.3g}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    series: Mapping[str, Mapping[str, float]],
+    row_order: Optional[Sequence[str]] = None,
+    title: str = "",
+    width: int = 36,
+    reference: Optional[float] = 1.0,
+) -> str:
+    """Paper-style grouped bars: one group per row key, one bar per series.
+
+    ``series`` maps series name -> {row: value} (the shape
+    :class:`repro.experiments.figures.FigureResult` stores).
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    rows = list(row_order) if row_order else sorted(
+        {row for values in series.values() for row in values}
+    )
+    peak = max(
+        (values.get(row, 0.0) for values in series.values() for row in rows),
+        default=1.0,
+    )
+    peak = max(peak, reference or 0.0) or 1.0
+    name_width = max(len(name) for name in series)
+    lines = []
+    if title:
+        lines.append(title)
+    for row in rows:
+        lines.append(f"{row}:")
+        for name, values in series.items():
+            if row not in values:
+                continue
+            value = values[row]
+            lines.append(
+                f"  {name:<{name_width}}  {_bar(value, peak, width)} {value:.3g}"
+            )
+    return "\n".join(lines)

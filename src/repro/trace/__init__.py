@@ -1,0 +1,45 @@
+"""Rendering-trace capture, storage and replay.
+
+The paper drives its simulator with rendering traces of real games and
+"profile[s] the rendering-traces ... to get the object graphical
+properties (e.g., viewports, number of triangles and texture data)"
+(Section 6).  This package is that trace layer for the reproduction:
+
+- :mod:`repro.trace.schema` — the versioned JSON document format for
+  scenes (frames, objects, meshes, textures);
+- :mod:`repro.trace.writer` / :mod:`repro.trace.reader` — lossless
+  serialisation of :class:`~repro.scene.scene.Scene` objects to
+  ``.json`` / ``.json.gz`` trace files and back;
+- :mod:`repro.trace.profiler` — the profiling pass: per-object and
+  per-frame property tables (triangles, texture working sets, sharing
+  structure) that feed the OO middleware, plus a drive-ready draw
+  stream summary.
+
+Traces make experiments portable: a synthetic Table 3 workload can be
+captured once and replayed anywhere (including through the CLI's
+``oovr trace`` subcommands) without re-running the generator.
+"""
+
+from repro.trace.profiler import (
+    DrawProfile,
+    FrameProfile,
+    TraceProfile,
+    profile_scene,
+)
+from repro.trace.reader import TraceFormatError, load_scene, read_trace
+from repro.trace.schema import SCHEMA_VERSION, scene_to_document
+from repro.trace.writer import save_scene, write_trace
+
+__all__ = [
+    "DrawProfile",
+    "FrameProfile",
+    "SCHEMA_VERSION",
+    "TraceFormatError",
+    "TraceProfile",
+    "load_scene",
+    "profile_scene",
+    "read_trace",
+    "save_scene",
+    "scene_to_document",
+    "write_trace",
+]

@@ -1,0 +1,152 @@
+"""The trace profiling pass.
+
+Before rendering, the paper "profile[s] the entire rendering process to
+get the total number of rendering objects" (Section 4.3) and extracts
+each object's graphical properties — viewports, triangle counts,
+texture data (Section 6).  :func:`profile_scene` is that pass: it walks
+a scene and produces the property tables the OO middleware and the
+distribution engine consume, plus scene-level sharing statistics that
+explain *why* TSL batching helps a given workload.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from repro.core.tsl import texture_sharing_level
+from repro.scene.objects import Eye, RenderObject
+from repro.scene.scene import Frame, Scene
+
+__all__ = ["DrawProfile", "FrameProfile", "TraceProfile", "profile_scene"]
+
+
+@dataclass(frozen=True)
+class DrawProfile:
+    """The per-object property record the middleware consumes."""
+
+    object_id: int
+    name: str
+    triangles: int
+    vertices: int
+    texture_bytes: int
+    texture_ids: Tuple[int, ...]
+    covered_pixels: float
+    fragments: float
+    is_stereo: bool
+
+    @classmethod
+    def from_object(cls, obj: RenderObject) -> "DrawProfile":
+        return cls(
+            object_id=obj.object_id,
+            name=obj.name,
+            triangles=obj.mesh.num_triangles,
+            vertices=obj.mesh.num_vertices,
+            texture_bytes=obj.texture_bytes,
+            texture_ids=tuple(t.texture_id for t in obj.textures),
+            covered_pixels=obj.covered_pixels(Eye.BOTH),
+            fragments=obj.fragments(Eye.BOTH),
+            is_stereo=obj.is_stereo,
+        )
+
+
+@dataclass(frozen=True)
+class FrameProfile:
+    """Aggregates for one frame."""
+
+    frame_id: int
+    num_objects: int
+    total_triangles: int
+    total_vertices: int
+    total_fragments: float
+    unique_texture_bytes: int
+    texture_sharing_ratio: float
+    stereo_fraction: float
+    draws: Tuple[DrawProfile, ...]
+
+    @classmethod
+    def from_frame(cls, frame: Frame) -> "FrameProfile":
+        draws = tuple(DrawProfile.from_object(obj) for obj in frame.objects)
+        stereo = sum(1 for d in draws if d.is_stereo)
+        return cls(
+            frame_id=frame.frame_id,
+            num_objects=len(draws),
+            total_triangles=frame.total_triangles,
+            total_vertices=frame.total_vertices,
+            total_fragments=frame.total_fragments,
+            unique_texture_bytes=frame.texture_bytes,
+            texture_sharing_ratio=frame.texture_sharing_ratio(),
+            stereo_fraction=stereo / len(draws),
+            draws=draws,
+        )
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """The whole-scene profile: what the runtime knows before rendering."""
+
+    scene_name: str
+    width: int
+    height: int
+    num_frames: int
+    frames: Tuple[FrameProfile, ...]
+    #: Histogram of how many objects bind each texture (by texture id).
+    texture_fanout: Mapping[int, int]
+    #: Pairs of distinct objects in frame 0 whose TSL clears the paper's
+    #: 0.5 grouping threshold — the batching opportunity count.
+    shareable_pairs: int
+
+    @property
+    def representative(self) -> FrameProfile:
+        return self.frames[0]
+
+    def table(self, max_rows: int = 12) -> str:
+        """A text table of the representative frame's largest draws."""
+        frame = self.representative
+        rows = sorted(frame.draws, key=lambda d: -d.fragments)[:max_rows]
+        lines = [
+            f"trace {self.scene_name}: {self.width}x{self.height}, "
+            f"{self.num_frames} frames, {frame.num_objects} objects/frame",
+            f"frame 0: {frame.total_triangles} triangles, "
+            f"{frame.total_fragments:.0f} fragments, "
+            f"texture sharing ratio {frame.texture_sharing_ratio:.2f}, "
+            f"{100 * frame.stereo_fraction:.0f}% stereo objects, "
+            f"{self.shareable_pairs} TSL>0.5 pairs",
+            f"{'object':<18}{'tris':>8}{'frag':>12}{'tex KiB':>9}  textures",
+        ]
+        for draw in rows:
+            lines.append(
+                f"{draw.name:<18}{draw.triangles:>8}{draw.fragments:>12.0f}"
+                f"{draw.texture_bytes / 1024:>9.0f}  {list(draw.texture_ids)}"
+            )
+        return "\n".join(lines)
+
+
+def _count_shareable_pairs(frame: Frame, threshold: float = 0.5) -> int:
+    """Distinct object pairs whose TSL exceeds ``threshold``."""
+    count = 0
+    objects = frame.objects
+    for i, root in enumerate(objects):
+        for other in objects[i + 1 :]:
+            if texture_sharing_level(root.textures, other.textures) > threshold:
+                count += 1
+    return count
+
+
+def profile_scene(scene: Scene) -> TraceProfile:
+    """Profile every frame of ``scene`` (the pre-render pass)."""
+    frames = tuple(FrameProfile.from_frame(frame) for frame in scene)
+    fanout: Counter = Counter()
+    for obj in scene.representative_frame.objects:
+        for texture in obj.textures:
+            fanout[texture.texture_id] += 1
+    return TraceProfile(
+        scene_name=scene.name,
+        width=scene.width,
+        height=scene.height,
+        num_frames=len(scene),
+        frames=frames,
+        texture_fanout=dict(fanout),
+        shareable_pairs=_count_shareable_pairs(scene.representative_frame),
+    )

@@ -1,0 +1,157 @@
+"""Trace reading: JSON -> scene, with schema validation.
+
+The reader is strict: unknown format strings, unsupported versions and
+structurally broken documents raise :class:`TraceFormatError` with a
+message naming the offending field, because a silently mis-read trace
+corrupts every downstream experiment.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Union
+
+from repro.scene.geometry import Mesh, Viewport
+from repro.scene.objects import RenderObject
+from repro.scene.scene import Frame, Scene
+from repro.scene.texture import Texture
+from repro.trace.schema import FORMAT_NAME, SCHEMA_VERSION
+
+__all__ = ["TraceFormatError", "load_scene", "read_trace"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+class TraceFormatError(ValueError):
+    """A trace document is malformed or has an unsupported version."""
+
+
+def _require(mapping: Dict[str, Any], key: str, context: str) -> Any:
+    if key not in mapping:
+        raise TraceFormatError(f"{context}: missing field {key!r}")
+    return mapping[key]
+
+
+def _viewport_from_list(
+    raw: Optional[List[float]], context: str
+) -> Optional[Viewport]:
+    if raw is None:
+        return None
+    if not isinstance(raw, list) or len(raw) != 4:
+        raise TraceFormatError(f"{context}: viewport must be [x0, y0, x1, y1]")
+    try:
+        return Viewport(*map(float, raw))
+    except ValueError as exc:
+        raise TraceFormatError(f"{context}: {exc}") from exc
+
+
+def _object_from_dict(
+    raw: Dict[str, Any],
+    textures: Dict[int, Texture],
+    context: str,
+) -> RenderObject:
+    mesh_raw = _require(raw, "mesh", context)
+    try:
+        mesh = Mesh(
+            num_vertices=int(_require(mesh_raw, "vertices", context)),
+            num_triangles=int(_require(mesh_raw, "triangles", context)),
+            vertex_bytes=int(mesh_raw.get("vertex_bytes", 32)),
+        )
+    except ValueError as exc:
+        raise TraceFormatError(f"{context}: {exc}") from exc
+    bound = []
+    for texture_id in _require(raw, "textures", context):
+        if texture_id not in textures:
+            raise TraceFormatError(
+                f"{context}: references unknown texture {texture_id}"
+            )
+        bound.append(textures[texture_id])
+    try:
+        return RenderObject(
+            object_id=int(_require(raw, "object_id", context)),
+            name=str(_require(raw, "name", context)),
+            mesh=mesh,
+            textures=tuple(bound),
+            viewport_left=_viewport_from_list(raw.get("viewport_left"), context),
+            viewport_right=_viewport_from_list(raw.get("viewport_right"), context),
+            depth_complexity=float(raw.get("depth_complexity", 1.3)),
+            shader_complexity=float(raw.get("shader_complexity", 1.0)),
+            coverage=float(raw.get("coverage", 0.45)),
+            depends_on=raw.get("depends_on"),
+        )
+    except ValueError as exc:
+        raise TraceFormatError(f"{context}: {exc}") from exc
+
+
+def read_trace(path: PathLike) -> Scene:
+    """Load a trace file written by :func:`repro.trace.writer.write_trace`."""
+    path = pathlib.Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            document = json.load(handle)
+    else:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    return scene_from_document(document)
+
+
+def scene_from_document(document: Dict[str, Any]) -> Scene:
+    """Deserialise a trace document (see :mod:`repro.trace.schema`)."""
+    if not isinstance(document, dict):
+        raise TraceFormatError("trace document must be a JSON object")
+    if document.get("format") != FORMAT_NAME:
+        raise TraceFormatError(
+            f"not an {FORMAT_NAME} document (format={document.get('format')!r})"
+        )
+    version = document.get("version")
+    if version != SCHEMA_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace version {version!r} "
+            f"(this reader supports {SCHEMA_VERSION})"
+        )
+    scene_raw = _require(document, "scene", "document")
+    name = str(_require(scene_raw, "name", "scene"))
+    width = int(_require(scene_raw, "width", "scene"))
+    height = int(_require(scene_raw, "height", "scene"))
+
+    textures: Dict[int, Texture] = {}
+    for raw in _require(scene_raw, "textures", "scene"):
+        texture_id = int(_require(raw, "id", "texture"))
+        if texture_id in textures:
+            raise TraceFormatError(f"texture: duplicate id {texture_id}")
+        try:
+            textures[texture_id] = Texture(
+                texture_id=texture_id,
+                name=str(_require(raw, "name", "texture")),
+                size_bytes=int(_require(raw, "size_bytes", "texture")),
+            )
+        except ValueError as exc:
+            raise TraceFormatError(f"texture {texture_id}: {exc}") from exc
+
+    frames = []
+    for frame_raw in _require(scene_raw, "frames", "scene"):
+        frame_id = int(_require(frame_raw, "frame_id", "frame"))
+        objects = tuple(
+            _object_from_dict(
+                obj_raw, textures, f"frame {frame_id} object {i}"
+            )
+            for i, obj_raw in enumerate(_require(frame_raw, "objects", "frame"))
+        )
+        try:
+            frames.append(
+                Frame(objects=objects, width=width, height=height, frame_id=frame_id)
+            )
+        except ValueError as exc:
+            raise TraceFormatError(f"frame {frame_id}: {exc}") from exc
+    if not frames:
+        raise TraceFormatError("scene: needs at least one frame")
+    try:
+        return Scene(name=name, frames=tuple(frames))
+    except ValueError as exc:
+        raise TraceFormatError(f"scene: {exc}") from exc
+
+
+def load_scene(path: PathLike) -> Scene:
+    """Alias for :func:`read_trace` (the public API name)."""
+    return read_trace(path)

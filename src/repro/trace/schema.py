@@ -1,0 +1,107 @@
+"""The trace document format.
+
+A trace is one JSON document per scene:
+
+.. code-block:: json
+
+    {
+      "format": "oovr-trace",
+      "version": 1,
+      "scene": {
+        "name": "HL2-1280",
+        "width": 1280, "height": 1024,
+        "textures": [{"id": 0, "name": "stone", "size_bytes": 4194304}],
+        "frames": [
+          {"frame_id": 0,
+           "objects": [
+             {"object_id": 0, "name": "pillar1",
+              "mesh": {"vertices": 900, "triangles": 1500, "vertex_bytes": 32},
+              "textures": [0],
+              "viewport_left": [10.0, 20.0, 200.0, 360.0],
+              "viewport_right": [14.0, 20.0, 204.0, 360.0],
+              "depth_complexity": 1.3, "shader_complexity": 1.0,
+              "coverage": 0.45, "depends_on": null}
+           ]}
+        ]
+      }
+    }
+
+Textures are interned at scene scope (the list at ``scene.textures``)
+and referenced by id from objects, preserving the *identity*-based
+sharing the TSL computation relies on: two objects that share a texture
+in memory share it after a round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.scene.geometry import Viewport
+from repro.scene.objects import RenderObject
+from repro.scene.scene import Frame, Scene
+
+__all__ = ["FORMAT_NAME", "SCHEMA_VERSION", "scene_to_document"]
+
+#: Magic string identifying trace documents.
+FORMAT_NAME = "oovr-trace"
+#: Current schema version; readers accept only versions they know.
+SCHEMA_VERSION = 1
+
+
+def _viewport_to_list(viewport: Optional[Viewport]) -> Optional[List[float]]:
+    if viewport is None:
+        return None
+    return [viewport.x0, viewport.y0, viewport.x1, viewport.y1]
+
+
+def _object_to_dict(obj: RenderObject) -> Dict[str, Any]:
+    return {
+        "object_id": obj.object_id,
+        "name": obj.name,
+        "mesh": {
+            "vertices": obj.mesh.num_vertices,
+            "triangles": obj.mesh.num_triangles,
+            "vertex_bytes": obj.mesh.vertex_bytes,
+        },
+        "textures": [t.texture_id for t in obj.textures],
+        "viewport_left": _viewport_to_list(obj.viewport_left),
+        "viewport_right": _viewport_to_list(obj.viewport_right),
+        "depth_complexity": obj.depth_complexity,
+        "shader_complexity": obj.shader_complexity,
+        "coverage": obj.coverage,
+        "depends_on": obj.depends_on,
+    }
+
+
+def _frame_to_dict(frame: Frame) -> Dict[str, Any]:
+    return {
+        "frame_id": frame.frame_id,
+        "objects": [_object_to_dict(obj) for obj in frame.objects],
+    }
+
+
+def scene_to_document(scene: Scene) -> Dict[str, Any]:
+    """Serialise ``scene`` into a trace document (a plain dict)."""
+    textures: Dict[int, Dict[str, Any]] = {}
+    for frame in scene:
+        for obj in frame.objects:
+            for texture in obj.textures:
+                textures.setdefault(
+                    texture.texture_id,
+                    {
+                        "id": texture.texture_id,
+                        "name": texture.name,
+                        "size_bytes": texture.size_bytes,
+                    },
+                )
+    return {
+        "format": FORMAT_NAME,
+        "version": SCHEMA_VERSION,
+        "scene": {
+            "name": scene.name,
+            "width": scene.width,
+            "height": scene.height,
+            "textures": [textures[key] for key in sorted(textures)],
+            "frames": [_frame_to_dict(frame) for frame in scene],
+        },
+    }

@@ -1,0 +1,39 @@
+"""Trace writing: scene -> JSON (optionally gzip-compressed)."""
+
+from __future__ import annotations
+
+import gzip
+import json
+import pathlib
+from typing import Union
+
+from repro.scene.scene import Scene
+from repro.trace.schema import scene_to_document
+
+__all__ = ["save_scene", "write_trace"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def write_trace(scene: Scene, path: PathLike, compress: bool | None = None) -> pathlib.Path:
+    """Write ``scene`` as a trace file.
+
+    Compression defaults to the path suffix: ``.gz`` files are gzipped,
+    everything else is plain JSON.  Returns the path written.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if compress is None:
+        compress = path.suffix == ".gz"
+    payload = json.dumps(scene_to_document(scene), indent=None, sort_keys=True)
+    if compress:
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(payload)
+    else:
+        path.write_text(payload, encoding="utf-8")
+    return path
+
+
+def save_scene(scene: Scene, path: PathLike) -> pathlib.Path:
+    """Alias for :func:`write_trace` (the public API name)."""
+    return write_trace(scene, path)

@@ -1,0 +1,84 @@
+"""Shared fixtures: small deterministic scenes and systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig, baseline_system
+from repro.scene.geometry import Mesh, Viewport
+from repro.scene.objects import RenderObject
+from repro.scene.scene import Frame, Scene
+from repro.scene.synthetic import SceneProfile, SyntheticSceneGenerator
+from repro.scene.texture import Texture, TexturePool
+
+KB = 1024
+MB = 1024 * KB
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    """The Table 2 baseline configuration."""
+    return baseline_system()
+
+
+@pytest.fixture
+def pool() -> TexturePool:
+    return TexturePool()
+
+
+def make_object(
+    object_id: int,
+    pool: TexturePool,
+    name: str | None = None,
+    textures: tuple[tuple[str, int], ...] = (("stone", MB),),
+    triangles: int = 600,
+    x: float = 100.0,
+    y: float = 100.0,
+    w: float = 200.0,
+    h: float = 150.0,
+    depends_on: int | None = None,
+    mono: bool = False,
+) -> RenderObject:
+    """A hand-built render object for unit tests."""
+    left = Viewport(x, y, x + w, y + h)
+    right = left.shifted(12.0)
+    return RenderObject(
+        object_id=object_id,
+        name=name or f"obj{object_id}",
+        mesh=Mesh(num_vertices=max(3, triangles // 2), num_triangles=triangles),
+        textures=tuple(pool.get_or_create(n, s) for n, s in textures),
+        viewport_left=left,
+        viewport_right=None if mono else right,
+        depends_on=depends_on,
+    )
+
+
+@pytest.fixture
+def small_frame(pool: TexturePool) -> Frame:
+    """Six objects, two materials shared pairwise, one dependency."""
+    objects = (
+        make_object(0, pool, "pillar1", (("stone", MB),)),
+        make_object(1, pool, "flag", (("cloth", MB // 2),), x=400.0),
+        make_object(2, pool, "pillar2", (("stone", MB),), x=700.0),
+        make_object(3, pool, "floor", (("stone", MB), ("dirt", MB)), y=600.0),
+        make_object(4, pool, "window", (("glass", MB // 4),), depends_on=3),
+        make_object(5, pool, "hud", (("ui", MB // 8),), mono=True, x=20.0, y=20.0),
+    )
+    return Frame(objects=objects, width=1280, height=1024)
+
+
+@pytest.fixture
+def small_scene(small_frame: Frame) -> Scene:
+    return Scene(name="unit-test", frames=(small_frame,))
+
+
+@pytest.fixture
+def tiny_profile() -> SceneProfile:
+    return SceneProfile(
+        name="tiny", num_objects=24, width=640, height=480, num_materials=12
+    )
+
+
+@pytest.fixture
+def tiny_scene(tiny_profile: SceneProfile) -> Scene:
+    return SyntheticSceneGenerator(tiny_profile, seed=7).make_scene(num_frames=2)

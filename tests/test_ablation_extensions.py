@@ -1,0 +1,99 @@
+"""Ablation frameworks and extension experiments."""
+
+import pytest
+
+from repro.core.ablation import AblatedOOVR, OOVRFeatures, ablation_suite
+from repro.experiments.extensions import (
+    batching_sensitivity,
+    energy_report,
+    oovr_ablation,
+)
+from repro.experiments.runner import ExperimentConfig
+from repro.scene.benchmarks import make_benchmark_scene
+
+TINY = ExperimentConfig(draw_scale=0.08, num_frames=2, workloads=("HL2-640",))
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return make_benchmark_scene("HL2-1280", num_frames=2, draw_scale=0.12)
+
+
+class TestFeatures:
+    def test_full_label(self):
+        assert OOVRFeatures().label() == "oo-vr"
+
+    def test_disabled_labels(self):
+        label = OOVRFeatures(prediction=False, stealing=False).label()
+        assert "pred" in label and "steal" in label
+
+    def test_suite_has_six_variants(self):
+        suite = ablation_suite()
+        assert set(suite) == {
+            "full", "no-prediction", "no-preallocation",
+            "no-dhc", "no-stealing", "software-only",
+        }
+
+
+class TestAblatedRendering:
+    def test_all_variants_run(self, scene):
+        for key, framework in ablation_suite().items():
+            result = framework.render_scene(scene)
+            assert result.single_frame_cycles > 0, key
+
+    def test_full_matches_oovr_semantics(self, scene):
+        from repro.frameworks.base import build_framework
+
+        full = AblatedOOVR(features=OOVRFeatures()).render_scene(scene)
+        oovr = build_framework("oo-vr").render_scene(scene)
+        assert full.single_frame_cycles == pytest.approx(
+            oovr.single_frame_cycles, rel=0.01
+        )
+
+    def test_no_dhc_slower_composition(self, scene):
+        full = AblatedOOVR(features=OOVRFeatures()).render_scene(scene)
+        no_dhc = AblatedOOVR(
+            features=OOVRFeatures(distributed_composition=False)
+        ).render_scene(scene)
+        assert (
+            no_dhc.frames[0].composition_cycles
+            > full.frames[0].composition_cycles
+        )
+
+    def test_no_preallocation_not_faster(self, scene):
+        full = AblatedOOVR(features=OOVRFeatures()).render_scene(scene)
+        no_pa = AblatedOOVR(
+            features=OOVRFeatures(preallocation=False)
+        ).render_scene(scene)
+        assert no_pa.single_frame_cycles >= full.single_frame_cycles * 0.98
+
+    def test_software_only_slowest(self, scene):
+        suite = ablation_suite()
+        cycles = {
+            key: fw.render_scene(scene).single_frame_cycles
+            for key, fw in suite.items()
+        }
+        assert cycles["software-only"] >= max(
+            cycles["full"], cycles["no-prediction"], cycles["no-stealing"]
+        ) * 0.99
+
+
+class TestExtensionExperiments:
+    def test_ablation_experiment_structure(self):
+        result = oovr_ablation(TINY)
+        assert "full" in result.series
+        assert result.average("full") > 1.0
+
+    def test_energy_ordering(self):
+        result = energy_report(TINY)
+        board = result.series["10 pJ/bit (board)"]
+        assert board["oo-vr"] < board["baseline"]
+        nodes = result.series["250 pJ/bit (nodes)"]
+        assert nodes["baseline"] == pytest.approx(25 * board["baseline"])
+
+    def test_batching_sensitivity_rows(self):
+        result = batching_sensitivity(TINY, workload="HL2-640")
+        series = result.series["speedup"]
+        assert "tsl>0.5" in series
+        assert "cap=4096" in series
+        assert all(v > 0 for v in series.values())

@@ -1,0 +1,101 @@
+"""Tests for the terminal bar-chart renderer."""
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.stats.plotting import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_one_line_per_entry(self):
+        chart = bar_chart({"a": 1.0, "b": 2.0, "c": 0.5})
+        assert len(chart.splitlines()) == 3
+
+    def test_title_prepended(self):
+        chart = bar_chart({"a": 1.0}, title="My chart")
+        assert chart.splitlines()[0] == "My chart"
+
+    def test_largest_value_fills_width(self):
+        chart = bar_chart({"small": 1.0, "big": 4.0}, width=20)
+        big_line = next(l for l in chart.splitlines() if l.startswith("big"))
+        assert big_line.count("█") == 20
+
+    def test_bars_proportional(self):
+        chart = bar_chart({"half": 2.0, "full": 4.0}, width=20)
+        half = next(l for l in chart.splitlines() if l.startswith("half"))
+        assert half.count("█") == 10
+
+    def test_values_annotated(self):
+        chart = bar_chart({"x": 1.234})
+        assert "1.23" in chart
+
+    def test_zero_value_gets_no_bar(self):
+        chart = bar_chart({"none": 0.0, "some": 1.0})
+        none_line = next(l for l in chart.splitlines() if l.startswith("none"))
+        assert "█" not in none_line
+
+    def test_reference_marker_drawn(self):
+        chart = bar_chart({"lo": 0.5, "hi": 2.0}, reference=1.0, width=20)
+        lo_line = next(l for l in chart.splitlines() if l.startswith("lo"))
+        hi_line = next(l for l in chart.splitlines() if l.startswith("hi"))
+        assert "┆" in lo_line  # bar stops before the 1.0 mark
+        assert "┼" in hi_line  # bar crosses the 1.0 mark
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=4)
+
+
+class TestGroupedBarChart:
+    SERIES = {
+        "baseline": {"w1": 1.0, "w2": 1.0},
+        "oo-vr": {"w1": 2.5, "w2": 3.0},
+    }
+
+    def test_groups_by_row(self):
+        chart = grouped_bar_chart(self.SERIES, row_order=["w1", "w2"])
+        lines = chart.splitlines()
+        assert lines[0] == "w1:"
+        assert "w2:" in lines
+
+    def test_row_order_respected(self):
+        chart = grouped_bar_chart(self.SERIES, row_order=["w2", "w1"])
+        assert chart.index("w2:") < chart.index("w1:")
+
+    def test_missing_cell_skipped(self):
+        series = {"a": {"w1": 1.0}, "b": {"w2": 2.0}}
+        chart = grouped_bar_chart(series, row_order=["w1", "w2"])
+        w1_block = chart.split("w2:")[0]
+        assert "b" not in w1_block.replace("w1:", "")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart({})
+
+
+class TestFigureToChart:
+    def make_figure(self, with_avg=True):
+        rows = {"w1": 1.2, "w2": 0.8}
+        if with_avg:
+            rows["Avg."] = 1.0
+        return FigureResult(
+            figure="Figure T",
+            title="test figure",
+            series={"scheme": dict(rows)},
+            row_order=list(rows),
+        )
+
+    def test_avg_figures_collapse_to_headline_bars(self):
+        chart = self.make_figure(with_avg=True).to_chart()
+        # One title line + one bar per series.
+        assert len(chart.splitlines()) == 2
+        assert "scheme" in chart
+
+    def test_avgless_figures_render_grouped(self):
+        chart = self.make_figure(with_avg=False).to_chart()
+        assert "w1:" in chart
+        assert "w2:" in chart

@@ -1,0 +1,220 @@
+"""Unit and property tests for the rasterizer and framebuffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.render.framebuffer import FrameBuffer, side_by_side
+from repro.render.math3d import identity, perspective, look_at, translate
+from repro.render.mesh3d import TriangleMesh, make_quad
+from repro.render.raster import DrawStats, Rasterizer, checker_shader
+
+
+def ortho_quad_mvp():
+    """An MVP that maps the unit quad to the centre of the screen."""
+    # The quad spans [-0.5, 0.5]^2 at z=0; with identity MVP it lands in
+    # the NDC centre, i.e. the middle quarter of the framebuffer.
+    return identity()
+
+
+def fullscreen_quad() -> TriangleMesh:
+    """A quad covering all of NDC (clip == NDC with identity MVP)."""
+    return make_quad(2.0, 2.0)
+
+
+class TestFrameBuffer:
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            FrameBuffer(0, 10)
+
+    def test_clear_resets_planes(self):
+        fb = FrameBuffer(4, 4)
+        fb.color[:, :] = 77
+        fb.depth[:, :] = 0.5
+        fb.pixels_written = 9
+        fb.clear((1, 2, 3))
+        assert (fb.color == np.array([1, 2, 3], dtype=np.uint8)).all()
+        assert np.isinf(fb.depth).all()
+        assert fb.pixels_written == 0
+
+    def test_covered_pixels_counts_finite_depth(self):
+        fb = FrameBuffer(4, 4)
+        assert fb.covered_pixels() == 0
+        fb.depth[1, 2] = 0.25
+        assert fb.covered_pixels() == 1
+
+    def test_ppm_roundtrip_header_and_payload(self, tmp_path):
+        fb = FrameBuffer(3, 2)
+        fb.color[0, 0] = (255, 0, 0)
+        path = fb.write_ppm(tmp_path / "img.ppm")
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n3 2\n255\n")
+        assert len(data) == len(b"P6\n3 2\n255\n") + 3 * 2 * 3
+
+    def test_depth_pgm_marks_uncovered_white(self, tmp_path):
+        fb = FrameBuffer(2, 2)
+        fb.depth[0, 0] = 0.1
+        path = fb.write_depth_pgm(tmp_path / "depth.pgm")
+        payload = path.read_bytes().split(b"255\n", 1)[1]
+        img = np.frombuffer(payload, dtype=np.uint8).reshape(2, 2)
+        assert img[0, 0] != 255  # covered pixel is not white
+        assert img[1, 1] == 255  # uncovered stays white
+
+    def test_side_by_side_packs_eyes(self):
+        left, right = FrameBuffer(4, 3), FrameBuffer(4, 3)
+        left.color[:, :] = (10, 0, 0)
+        right.color[:, :] = (0, 20, 0)
+        packed = side_by_side(left, right)
+        assert packed.width == 8
+        assert (packed.color[:, :4, 0] == 10).all()
+        assert (packed.color[:, 4:, 1] == 20).all()
+
+    def test_side_by_side_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            side_by_side(FrameBuffer(4, 3), FrameBuffer(4, 4))
+
+
+class TestRasterizer:
+    def test_fullscreen_quad_covers_everything(self):
+        fb = FrameBuffer(32, 32)
+        stats = Rasterizer(fb).draw_mesh(fullscreen_quad(), identity())
+        assert stats.pixels_written == 32 * 32
+        assert fb.covered_pixels() == 32 * 32
+        assert stats.triangles_rasterised == 2
+
+    def test_centered_quad_covers_middle_quarter(self):
+        fb = FrameBuffer(64, 64)
+        stats = Rasterizer(fb).draw_mesh(make_quad(1.0, 1.0), identity())
+        # NDC [-0.5, 0.5] maps to pixels [16, 48) in each axis.
+        assert stats.pixels_written == 32 * 32
+        mask = fb.covered_mask()
+        assert mask[16:48, 16:48].all()
+        assert not mask[:16].any() and not mask[48:].any()
+
+    def test_depth_test_keeps_nearer_triangle(self):
+        fb = FrameBuffer(16, 16)
+        raster = Rasterizer(fb)
+        near = fullscreen_quad().transformed(translate(0, 0, 0.1))
+        far = fullscreen_quad().transformed(translate(0, 0, 0.9))
+        shade_near = checker_shader((255, 0, 0), (255, 0, 0))
+        shade_far = checker_shader((0, 255, 0), (0, 255, 0))
+        raster.draw_mesh(near, identity(), shade_near)
+        stats_far = raster.draw_mesh(far, identity(), shade_far)
+        # NDC depth: smaller is nearer; far quad must lose everywhere.
+        assert stats_far.pixels_written == 0
+        # Full coverage, plus pixels on the shared diagonal counted by
+        # both triangles (the rasterizer has no top-left fill rule).
+        assert 16 * 16 <= stats_far.fragments_shaded <= 16 * 17
+        assert (fb.color[:, :, 0] > 0).all()
+
+    def test_depth_test_draw_order_independent(self):
+        def render(order):
+            fb = FrameBuffer(16, 16)
+            raster = Rasterizer(fb)
+            for mesh, shader in order:
+                raster.draw_mesh(mesh, identity(), shader)
+            return fb.color.copy()
+
+        near = fullscreen_quad().transformed(translate(0, 0, 0.1))
+        far = fullscreen_quad().transformed(translate(0, 0, 0.9))
+        red = checker_shader((255, 0, 0), (255, 0, 0))
+        green = checker_shader((0, 255, 0), (0, 255, 0))
+        a = render([(near, red), (far, green)])
+        b = render([(far, green), (near, red)])
+        np.testing.assert_array_equal(a, b)
+
+    def test_backface_culling_counts(self):
+        fb = FrameBuffer(16, 16)
+        quad = fullscreen_quad()
+        flipped = TriangleMesh(
+            quad.positions, quad.uvs, quad.faces[:, ::-1].copy()
+        )
+        stats = Rasterizer(fb).draw_mesh(flipped, identity())
+        assert stats.triangles_culled == 2
+        assert stats.pixels_written == 0
+
+    def test_backface_culling_can_be_disabled(self):
+        fb = FrameBuffer(16, 16)
+        quad = fullscreen_quad()
+        flipped = TriangleMesh(quad.positions, quad.uvs, quad.faces[:, ::-1].copy())
+        stats = Rasterizer(fb).draw_mesh(flipped, identity(), cull_backfaces=False)
+        assert stats.pixels_written == 16 * 16
+
+    def test_near_plane_rejection_counts_clipped(self):
+        proj = perspective(90.0, 1.0, 1.0, 10.0)
+        view = look_at((0, 0, 0), (0, 0, -1))
+        behind = make_quad(1.0, 1.0).transformed(translate(0, 0, 0.5))
+        fb = FrameBuffer(16, 16)
+        stats = Rasterizer(fb).draw_mesh(behind, proj @ view)
+        assert stats.triangles_clipped == 2
+        assert stats.pixels_written == 0
+
+    def test_scissor_limits_coverage(self):
+        fb = FrameBuffer(32, 32)
+        raster = Rasterizer(fb, scissor=(0, 0, 16, 32))
+        stats = raster.draw_mesh(fullscreen_quad(), identity())
+        assert stats.pixels_written == 16 * 32
+        assert not fb.covered_mask()[:, 16:].any()
+
+    def test_scissor_validation(self):
+        fb = FrameBuffer(8, 8)
+        with pytest.raises(ValueError):
+            Rasterizer(fb, scissor=(5, 5, 5, 8))
+
+    def test_offscreen_triangle_draws_nothing(self):
+        fb = FrameBuffer(16, 16)
+        offscreen = make_quad(0.5, 0.5).transformed(translate(5.0, 0, 0))
+        stats = Rasterizer(fb).draw_mesh(offscreen, identity())
+        assert stats.pixels_written == 0
+        assert stats.fragments_shaded == 0
+
+    def test_empty_mesh_is_noop(self):
+        fb = FrameBuffer(8, 8)
+        empty = TriangleMesh(
+            np.zeros((0, 3)), np.zeros((0, 2)), np.zeros((0, 3), dtype=np.int32)
+        )
+        stats = Rasterizer(fb).draw_mesh(empty, identity())
+        assert stats == DrawStats(triangles_in=0)
+
+    def test_stats_merge_adds_counters(self):
+        a = DrawStats(triangles_in=2, pixels_written=5, fragments_shaded=7)
+        b = DrawStats(triangles_in=3, pixels_written=1, fragments_shaded=2)
+        merged = a.merged_with(b)
+        assert merged.triangles_in == 5
+        assert merged.pixels_written == 6
+        assert merged.fragments_shaded == 9
+
+    def test_overdraw_definition(self):
+        stats = DrawStats(fragments_shaded=30, pixels_written=10)
+        assert stats.overdraw == 3.0
+        assert DrawStats().overdraw == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        x=st.floats(-0.9, 0.9),
+        y=st.floats(-0.9, 0.9),
+        size=st.floats(0.05, 0.5),
+    )
+    def test_property_fragments_bounded_by_bbox(self, x, y, size):
+        """A quad's fragments never exceed its screen bounding box."""
+        fb = FrameBuffer(64, 64)
+        quad = make_quad(size, size).transformed(translate(x, y, 0))
+        stats = Rasterizer(fb).draw_mesh(quad, identity())
+        bbox_pixels = (np.ceil(size * 32) + 2) ** 2  # NDC size -> pixels
+        assert stats.fragments_shaded <= bbox_pixels
+        assert stats.pixels_written <= stats.fragments_shaded
+
+    @settings(max_examples=15, deadline=None)
+    @given(depth_a=st.floats(0.0, 0.9), depth_b=st.floats(0.0, 0.9))
+    def test_property_depth_buffer_never_increases(self, depth_a, depth_b):
+        fb = FrameBuffer(8, 8)
+        raster = Rasterizer(fb)
+        raster.draw_mesh(
+            fullscreen_quad().transformed(translate(0, 0, depth_a)), identity()
+        )
+        before = fb.depth.copy()
+        raster.draw_mesh(
+            fullscreen_quad().transformed(translate(0, 0, depth_b)), identity()
+        )
+        assert (fb.depth <= before + 1e-12).all()

@@ -1,0 +1,208 @@
+"""Tests for cameras, stereo rendering modes, and validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.render.camera import Camera, StereoCamera
+from repro.render.math3d import translate
+from repro.render.mesh3d import make_box, make_checker_ground, make_icosphere
+from repro.render.raster import checker_shader
+from repro.render.stereo import (
+    SceneObject3D,
+    StereoRenderer,
+    StereoRenderMode,
+)
+from repro.render.validate import validate_scene
+from repro.scene.objects import Eye
+
+
+@pytest.fixture()
+def camera():
+    return StereoCamera(
+        Camera(position=(0.0, 1.5, 4.0), target=(0.0, 1.0, 0.0), aspect=1.0),
+        ipd=0.12,
+    )
+
+
+@pytest.fixture()
+def scene_objects():
+    return [
+        SceneObject3D(
+            "ground",
+            make_checker_ground(8.0, 4),
+            translate(0, 0, 0),
+            checker_shader((90, 110, 90), (40, 60, 40)),
+            "grass",
+        ),
+        SceneObject3D(
+            "crate",
+            make_box(1.0, 1.0, 1.0),
+            translate(0.0, 0.5, 0.0),
+            checker_shader((200, 160, 90), (120, 90, 40), 2),
+            "wood",
+        ),
+        SceneObject3D(
+            "orb",
+            make_icosphere(0.4, 1),
+            translate(-0.9, 1.0, -0.5),
+            checker_shader((220, 60, 60), (150, 30, 30)),
+            "orb",
+        ),
+    ]
+
+
+class TestCameras:
+    def test_view_projection_shapes(self, camera):
+        left, right = camera.view_projections()
+        assert left.shape == right.shape == (4, 4)
+        assert not np.allclose(left, right)
+
+    def test_eye_cameras_separated_by_ipd(self, camera):
+        left = np.asarray(camera.eye_camera("left").position)
+        right = np.asarray(camera.eye_camera("right").position)
+        assert math.isclose(float(np.linalg.norm(right - left)), camera.ipd)
+
+    def test_eye_name_validated(self, camera):
+        with pytest.raises(ValueError):
+            camera.eye_camera("middle")
+
+    def test_ipd_validated(self):
+        with pytest.raises(ValueError):
+            StereoCamera(Camera(position=(0, 0, 1)), ipd=0.0)
+
+    def test_reprojection_offset_positive(self, camera):
+        assert camera.reprojection_offset_ndc() > 0.0
+
+    def test_reprojection_offset_shrinks_with_distance(self):
+        near = StereoCamera(
+            Camera(position=(0, 0, 2.0), target=(0, 0, 0)), ipd=0.1
+        )
+        far = StereoCamera(
+            Camera(position=(0, 0, 8.0), target=(0, 0, 0)), ipd=0.1
+        )
+        assert near.reprojection_offset_ndc() > far.reprojection_offset_ndc()
+
+
+class TestStereoRenderer:
+    def test_smp_and_sequential_pixel_identical(self, camera, scene_objects):
+        renderer = StereoRenderer(camera, 96, 96)
+        fb_seq, _ = renderer.render(scene_objects, StereoRenderMode.SEQUENTIAL)
+        fb_smp, _ = renderer.render(scene_objects, StereoRenderMode.SMP)
+        np.testing.assert_array_equal(fb_seq.color, fb_smp.color)
+
+    def test_smp_halves_vertex_transforms(self, camera, scene_objects):
+        renderer = StereoRenderer(camera, 96, 96)
+        _, seq = renderer.render(scene_objects, StereoRenderMode.SEQUENTIAL)
+        _, smp = renderer.render(scene_objects, StereoRenderMode.SMP)
+        assert smp.total.vertices_transformed * 2 == seq.total.vertices_transformed
+
+    def test_smp_keeps_fragment_counts(self, camera, scene_objects):
+        renderer = StereoRenderer(camera, 96, 96)
+        _, seq = renderer.render(scene_objects, StereoRenderMode.SEQUENTIAL)
+        _, smp = renderer.render(scene_objects, StereoRenderMode.SMP)
+        assert smp.total.fragments_shaded == seq.total.fragments_shaded
+        assert smp.total.pixels_written == seq.total.pixels_written
+
+    def test_both_eyes_receive_content(self, camera, scene_objects):
+        renderer = StereoRenderer(camera, 96, 96)
+        left, right, _ = renderer.render_eye_buffers(scene_objects)
+        assert left.covered_pixels() > 0
+        assert right.covered_pixels() > 0
+
+    def test_eyes_differ_by_parallax(self, camera, scene_objects):
+        renderer = StereoRenderer(camera, 96, 96)
+        left, right, _ = renderer.render_eye_buffers(scene_objects)
+        assert not np.array_equal(left.color, right.color)
+
+    def test_reprojection_shades_no_new_fragments(self, camera, scene_objects):
+        renderer = StereoRenderer(camera, 96, 96)
+        _, stats = renderer.render(scene_objects, StereoRenderMode.REPROJECTED)
+        assert stats.right.fragments_shaded == 0
+        assert stats.right.vertices_transformed == 0
+        assert stats.right.pixels_written > 0
+
+    def test_reprojection_approximates_far_content(self, camera):
+        # A distant object reprojects almost perfectly; compare coverage.
+        distant = [
+            SceneObject3D(
+                "wall",
+                make_box(6.0, 3.0, 0.2),
+                translate(0, 1.5, -12.0),
+                checker_shader(),
+                "brick",
+            )
+        ]
+        renderer = StereoRenderer(camera, 128, 128)
+        _, true_stats = renderer.render(distant, StereoRenderMode.SEQUENTIAL)
+        packed, re_stats = renderer.render(distant, StereoRenderMode.REPROJECTED)
+        true_pixels = true_stats.right.pixels_written
+        re_pixels = re_stats.right.pixels_written
+        assert abs(true_pixels - re_pixels) / true_pixels < 0.25
+
+    def test_render_rejects_empty_scene(self, camera):
+        renderer = StereoRenderer(camera, 32, 32)
+        with pytest.raises(ValueError):
+            renderer.render([])
+
+    def test_resolution_validated(self, camera):
+        with pytest.raises(ValueError):
+            StereoRenderer(camera, 0, 32)
+
+    def test_summary_mentions_mode(self, camera, scene_objects):
+        renderer = StereoRenderer(camera, 64, 64)
+        _, stats = renderer.render(scene_objects, StereoRenderMode.SMP)
+        assert "smp" in stats.summary()
+
+
+class TestValidation:
+    def test_validation_produces_model_twins(self, camera, scene_objects):
+        report = validate_scene(scene_objects, camera, 96, 96)
+        assert len(report.render_objects) == len(scene_objects)
+        assert report.mean_fragment_error < 0.05
+
+    def test_model_twin_fragments_match_measured(self, camera, scene_objects):
+        report = validate_scene(scene_objects, camera, 96, 96)
+        for validation, model in zip(report.objects, report.render_objects):
+            assert math.isclose(
+                model.fragments(Eye.BOTH),
+                validation.modelled_fragments,
+            )
+
+    def test_shared_texture_names_interned(self, camera):
+        twin_pillars = [
+            SceneObject3D(
+                "p1", make_box(0.4, 2.0, 0.4), translate(-1, 1, 0), None, "stone"
+            ),
+            SceneObject3D(
+                "p2", make_box(0.4, 2.0, 0.4), translate(1, 1, 0), None, "stone"
+            ),
+        ]
+        report = validate_scene(twin_pillars, camera, 64, 64)
+        a, b = report.render_objects
+        assert a.textures[0] is b.textures[0]
+
+    def test_offscreen_object_excluded_from_models(self, camera):
+        objs = [
+            SceneObject3D(
+                "vis", make_box(1, 1, 1), translate(0, 1, 0), None, "a"
+            ),
+            SceneObject3D(
+                "hidden", make_box(1, 1, 1), translate(100, 0, 0), None, "b"
+            ),
+        ]
+        report = validate_scene(objs, camera, 64, 64)
+        assert len(report.objects) == 2
+        assert len(report.render_objects) == 1
+        assert report.objects[1].measured_pixels == 0
+
+    def test_table_renders_all_objects(self, camera, scene_objects):
+        report = validate_scene(scene_objects, camera, 64, 64)
+        table = report.table()
+        for obj in scene_objects:
+            assert obj.name in table
+
+    def test_resolution_validated(self, camera, scene_objects):
+        with pytest.raises(ValueError):
+            validate_scene(scene_objects, camera, 0, 64)

@@ -1,0 +1,211 @@
+"""Paper-shape regression tests.
+
+These assert the *qualitative* results of the paper's figures on
+scaled-down workloads — who wins, by roughly what factor, and where the
+crossovers fall.  Bounds are intentionally loose (the benches report the
+precise numbers at full scale); the point is that a refactor cannot
+silently invert a conclusion.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentConfig
+
+#: Three representative workloads at reduced scale: one few-big-draws
+#: game (DM3), one mid (HL2), one many-small-draws game (WE).
+SHAPE = ExperimentConfig(
+    draw_scale=0.15, num_frames=3, workloads=("DM3-1280", "HL2-1280", "WE")
+)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return figures.fig04_bandwidth_sensitivity(SHAPE)
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return figures.fig07_afr(SHAPE)
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return figures.fig08_sfr_performance(SHAPE)
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return figures.fig09_sfr_traffic(SHAPE)
+
+
+@pytest.fixture(scope="module")
+def fig15():
+    return figures.fig15_oovr_speedup(SHAPE)
+
+
+@pytest.fixture(scope="module")
+def fig16():
+    return figures.fig16_oovr_traffic(SHAPE)
+
+
+class TestFig4Shape:
+    """Baseline performance degrades as the links shrink (22/42/65%)."""
+
+    def test_order(self, fig4):
+        series = [fig4.average(c) for c in fig4.series]
+        assert series == sorted(series, reverse=True)
+
+    def test_64gbps_substantial_degradation(self, fig4):
+        # Paper: 42% degradation at 64 GB/s.  Accept 25-50%.
+        value = fig4.average("64GB/s")
+        assert 0.50 <= value <= 0.75
+
+    def test_32gbps_severe_degradation(self, fig4):
+        # Paper: 65% degradation.  Accept 50-70%.
+        value = fig4.average("32GB/s")
+        assert 0.30 <= value <= 0.50
+
+    def test_256gbps_mild(self, fig4):
+        assert fig4.average("256GB/s") >= 0.9
+
+
+class TestFig7Shape:
+    """AFR: throughput up ~1.67x, single-frame latency up ~1.59x."""
+
+    def test_throughput_gain(self, fig7):
+        assert 1.3 <= fig7.average("overall perf") <= 2.3
+
+    def test_latency_penalty(self, fig7):
+        assert 1.3 <= fig7.average("frame latency") <= 2.0
+
+
+class TestFig8Fig9Shape:
+    """SFR: object wins on perf; tile schemes inflate traffic."""
+
+    def test_object_beats_tiles(self, fig8):
+        obj = fig8.average("Object-Level")
+        assert obj > fig8.average("Tile-Level (H)")
+        assert obj >= 1.25
+
+    def test_tile_v_modest_gain(self, fig8):
+        assert 1.0 <= fig8.average("Tile-Level (V)") <= 1.7
+
+    def test_tile_h_near_baseline(self, fig8):
+        assert 0.8 <= fig8.average("Tile-Level (H)") <= 1.3
+
+    def test_tile_traffic_above_baseline(self, fig9):
+        assert fig9.average("Tile-Level (V)") > 1.1
+        assert fig9.average("Tile-Level (H)") > 1.1
+
+    def test_object_traffic_below_baseline(self, fig9):
+        assert 0.35 <= fig9.average("Object-Level") <= 0.8
+
+
+class TestFig10Shape:
+    def test_imbalance_visible(self):
+        result = figures.fig10_load_balance(SHAPE)
+        value = result.average("best-to-worst")
+        assert 1.15 <= value <= 2.5
+
+
+class TestFig15Shape:
+    """The headline ladder: OO-VR > OO_APP > object > baseline > AFR."""
+
+    def test_full_ordering(self, fig15):
+        oovr = fig15.average("OOVR")
+        app = fig15.average("OO_APP")
+        obj = fig15.average("Object-Level")
+        afr = fig15.average("Frame-Level")
+        assert oovr > app > obj > 1.0 > afr
+
+    def test_oovr_speedup_magnitude(self, fig15):
+        # Paper's mutually consistent reading: ~2.6-3.2x.
+        assert 2.0 <= fig15.average("OOVR") <= 3.8
+
+    def test_oo_app_about_double(self, fig15):
+        assert 1.5 <= fig15.average("OO_APP") <= 2.6
+
+    def test_1tbs_between(self, fig15):
+        value = fig15.average("1TB/s-BW")
+        assert 1.3 <= value <= 2.0
+
+    def test_oovr_vs_oo_app_gap(self, fig15):
+        # Paper: ~1.59x (hardware contribution).
+        ratio = fig15.average("OOVR") / fig15.average("OO_APP")
+        assert 1.15 <= ratio <= 1.9
+
+
+class TestFig16Shape:
+    """Traffic: OO-VR ~0.24x of baseline, object ~0.6x."""
+
+    def test_oovr_traffic_reduction(self, fig16):
+        assert 0.15 <= fig16.average("OOVR") <= 0.40
+
+    def test_object_traffic_reduction(self, fig16):
+        assert 0.40 <= fig16.average("Object-Level") <= 0.80
+
+    def test_ordering(self, fig16):
+        assert (
+            fig16.average("OOVR")
+            < fig16.average("Object-Level")
+            < fig16.average("Baseline")
+        )
+
+
+class TestFig17Shape:
+    """OO-VR is insensitive to link bandwidth; the baseline is not."""
+
+    @pytest.fixture(scope="class")
+    def fig17(self):
+        return figures.fig17_link_bandwidth(SHAPE)
+
+    def test_baseline_sensitive(self, fig17):
+        base = fig17.series["Baseline"]
+        assert base["256GB/s"] / base["32GB/s"] > 1.8
+
+    def test_oovr_insensitive(self, fig17):
+        oovr = fig17.series["OOVR"]
+        assert oovr["256GB/s"] / oovr["32GB/s"] < 1.5
+
+    def test_oovr_wins_everywhere(self, fig17):
+        for bandwidth in ("32GB/s", "64GB/s", "128GB/s", "256GB/s"):
+            assert fig17.series["OOVR"][bandwidth] > fig17.series["Baseline"][bandwidth]
+
+
+class TestFig18Shape:
+    """Scalability: OO-VR scales near-linearly, the baseline saturates."""
+
+    @pytest.fixture(scope="class")
+    def fig18(self):
+        return figures.fig18_scalability(SHAPE)
+
+    def test_oovr_scales_best(self, fig18):
+        assert fig18.series["OOVR"]["8 GPM"] > fig18.series["Object-level"]["8 GPM"]
+        assert (
+            fig18.series["Object-level"]["8 GPM"]
+            > fig18.series["Baseline"]["8 GPM"]
+        )
+
+    def test_baseline_saturates(self, fig18):
+        # Paper: 2.08x at 8 GPMs.
+        assert fig18.series["Baseline"]["8 GPM"] < 3.5
+
+    def test_oovr_near_linear_at_4(self, fig18):
+        # Paper: 3.64x at 4 GPMs.
+        assert fig18.series["OOVR"]["4 GPM"] >= 2.4
+
+    def test_oovr_8gpm_speedup(self, fig18):
+        # Paper: 6.27x at 8 GPMs; accept >= 3.8.
+        assert fig18.series["OOVR"]["8 GPM"] >= 3.8
+
+    def test_everyone_improves_with_gpms(self, fig18):
+        for scheme, series in fig18.series.items():
+            assert series["8 GPM"] > series["1 GPM"], scheme
+
+
+class TestSMPValidationShape:
+    def test_smp_gain_near_paper(self):
+        result = figures.smp_validation(SHAPE)
+        # Paper: 27% gain over sequential stereo on one GPU.
+        assert 1.1 <= result.average("SMP speedup") <= 1.6

@@ -1,0 +1,75 @@
+"""Tests for the dispatch timeline renderer."""
+
+import pytest
+
+from repro.core.distribution import DispatchRecord
+from repro.core.oovr import OOVRFramework
+from repro.scene.benchmarks import make_benchmark_scene
+from repro.stats.timeline import dispatch_timeline
+
+
+def record(gpm, cycles, calibration=False, batch_id=0):
+    return DispatchRecord(
+        batch_id=batch_id,
+        gpm=gpm,
+        predicted_cycles=None if calibration else cycles,
+        actual_cycles=cycles,
+        prealloc_bytes=0.0,
+        calibration=calibration,
+    )
+
+
+class TestDispatchTimeline:
+    def test_one_row_per_gpm_plus_legend(self):
+        text = dispatch_timeline([record(0, 100.0)], num_gpms=2)
+        lines = text.splitlines()
+        assert lines[0].startswith("GPM0")
+        assert lines[1].startswith("GPM1")
+        assert "calibration" in lines[2]
+
+    def test_busiest_gpm_reads_full(self):
+        text = dispatch_timeline(
+            [record(0, 100.0), record(1, 50.0)], num_gpms=2, width=20
+        )
+        gpm0 = text.splitlines()[0]
+        assert "100% busy" in gpm0
+        assert gpm0.count("█") == 20
+
+    def test_idle_gpm_shows_idle_cells(self):
+        text = dispatch_timeline(
+            [record(0, 100.0), record(1, 25.0)], num_gpms=2, width=20
+        )
+        gpm1 = text.splitlines()[1]
+        assert "·" in gpm1
+        assert " 25% busy" in gpm1
+
+    def test_calibration_glyph_differs(self):
+        text = dispatch_timeline(
+            [record(0, 50.0, calibration=True), record(1, 50.0)],
+            num_gpms=2,
+            width=20,
+        )
+        lines = text.splitlines()
+        assert "▒" in lines[0]
+        assert "█" in lines[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dispatch_timeline([], num_gpms=2)
+        with pytest.raises(ValueError):
+            dispatch_timeline([record(0, 1.0)], num_gpms=0)
+        with pytest.raises(ValueError):
+            dispatch_timeline([record(0, 1.0)], num_gpms=2, width=4)
+        with pytest.raises(ValueError):
+            dispatch_timeline([record(5, 1.0)], num_gpms=2)
+
+    def test_renders_real_engine_records(self):
+        scene = make_benchmark_scene("HL2-640", num_frames=1, draw_scale=0.1)
+        framework = OOVRFramework()
+        framework.render_scene(scene)
+        text = dispatch_timeline(
+            framework.last_engine.records, framework.config.num_gpms
+        )
+        assert text.count("GPM") == framework.config.num_gpms
+        # Calibration batches (the first 8) must be visible.
+        assert "▒" in text
