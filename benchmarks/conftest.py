@@ -10,6 +10,10 @@ workload scale** (Table 3 draw counts, 3 frames per scene) and
 ``pytest-benchmark`` times one full regeneration per figure
 (``pedantic(rounds=1)``): the numbers of interest are the figure's
 values, not the wall-clock, but the timing documents simulation cost.
+
+The harness rides on the Session/Sweep API: ``BENCH`` is the standard
+:data:`repro.session.FULL` preset, the same grids ``oovr fig`` and
+``oovr sweep`` execute.
 """
 
 from __future__ import annotations
@@ -18,10 +22,10 @@ import pathlib
 
 import pytest
 
-from repro.experiments.runner import ExperimentConfig
+from repro.session import FULL
 
-#: Full-scale experiment configuration used by every bench.
-BENCH = ExperimentConfig(draw_scale=1.0, num_frames=3)
+#: Full-scale experiment preset used by every bench.
+BENCH = FULL
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 

@@ -1,45 +1,45 @@
 """Compare every parallel rendering framework on one VR workload.
 
-Reproduces the flavour of the paper's Sections 4-6 in one table: for a
-chosen workload, renders the scene under all eight schemes and reports
-single-frame latency, steady-state frame rate, inter-GPM traffic and
-GPM load balance.  Use a different workload with e.g.
+Reproduces the flavour of the paper's Sections 4-6 in one table: a
+single ``Sweep`` over all registered schemes, executed in parallel
+worker processes, reporting single-frame latency, steady-state frame
+rate, inter-GPM traffic and GPM load balance.  Usage::
 
-    python examples/parallel_rendering_comparison.py NFS
+    python examples/parallel_rendering_comparison.py [WORKLOAD] [JOBS]
+
+e.g. ``python examples/parallel_rendering_comparison.py NFS 4``.
 """
 
 import sys
 
-from repro import build_framework, framework_names, workload_scene
+from repro import Sweep, framework_names
 from repro.stats.reporting import format_table
 
 
 def main() -> None:
     workload = sys.argv[1] if len(sys.argv) > 1 else "DM3-1280"
-    scene = workload_scene(workload, num_frames=4)
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    sweep = Sweep().frameworks(*framework_names()).workloads(workload).frames(4)
+    # Peek at the workload before fanning out (workers rebuild their own
+    # memoised copy; with jobs=1 the runs below reuse this one).
+    scene = sweep.specs()[0].scene()
     print(f"workload {workload}: {scene.num_draws} draws/frame\n")
-
-    rows = []
-    baseline_cycles = None
-    for name in framework_names():
-        result = build_framework(name).render_scene(scene)
-        if name == "baseline":
-            baseline_cycles = result.single_frame_cycles
-        rows.append(
-            (
-                name,
-                result.single_frame_cycles / 1e6,
-                result.throughput_fps,
-                result.mean_inter_gpm_bytes_per_frame / 1e6,
-                result.mean_load_balance_ratio,
-            )
-        )
+    results = sweep.run(jobs=jobs)
 
     # Normalise latency to the baseline, the way the paper's bars do.
-    assert baseline_cycles is not None
+    speedups = results.normalize_to(
+        "baseline", "single_frame_cycles", invert=True
+    )
     table_rows = [
-        (name, mcyc, baseline_cycles / (mcyc * 1e6), fps, mb, bal)
-        for name, mcyc, fps, mb, bal in rows
+        (
+            record["framework"],
+            record["single_frame_cycles"] / 1e6,
+            speedups[record["framework"]][workload],
+            record["throughput_fps"],
+            record["mean_inter_gpm_bytes_per_frame"] / 1e6,
+            record["mean_load_balance_ratio"],
+        )
+        for record in results.to_records()
     ]
     print(
         format_table(

@@ -1,45 +1,47 @@
 """Quickstart: render one VR game frame under OO-VR and the baseline.
 
-Builds the paper's HL2 workload at 1280x1024, renders it under the
-naive single-programming-model baseline and under OO-VR, and prints the
-headline comparison: single-frame latency, inter-GPM traffic, and load
-balance across the four GPU modules.
+Uses the unified Session/Sweep API: one ``Sweep`` declares the
+(framework x workload) grid over the paper's HL2 workload at 1280x1024,
+and the returned ``ResultSet`` provides both the tidy records printed
+below and the paper-style normalisation math (speedup, traffic saving).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import build_framework, workload_scene
+from repro import Sweep
 
 
 def main() -> None:
-    scene = workload_scene("HL2-1280", num_frames=3)
+    results = (
+        Sweep()
+        .frameworks("baseline", "oo-vr")
+        .workloads("HL2-1280")
+        .frames(3)
+        .run()
+    )
+    scene = results.specs[0].scene()
     print(f"workload: {scene.name}, {scene.num_draws} draws/frame, "
           f"{scene.width}x{scene.height} per eye\n")
 
-    rows = []
-    for name in ("baseline", "oo-vr"):
-        framework = build_framework(name)
-        result = framework.render_scene(scene)
-        frame = result.frames[-1]
-        rows.append(
-            (
-                name,
-                result.single_frame_cycles / 1e6,
-                frame.latency_ms(),
-                result.mean_inter_gpm_bytes_per_frame / 1e6,
-                result.mean_load_balance_ratio,
-            )
-        )
-
-    header = f"{'scheme':<10} {'Mcycles':>9} {'ms@1GHz':>9} {'MB/frame':>10} {'imbalance':>10}"
+    header = (f"{'scheme':<10} {'Mcycles':>9} {'ms@1GHz':>9} "
+              f"{'MB/frame':>10} {'imbalance':>10}")
     print(header)
     print("-" * len(header))
-    for name, mcycles, ms, mb, balance in rows:
-        print(f"{name:<10} {mcycles:>9.3f} {ms:>9.3f} {mb:>10.2f} {balance:>10.2f}")
+    for spec, result in results:
+        print(f"{spec.framework:<10} "
+              f"{result.single_frame_cycles / 1e6:>9.3f} "
+              f"{result.frames[-1].latency_ms():>9.3f} "
+              f"{result.mean_inter_gpm_bytes_per_frame / 1e6:>10.2f} "
+              f"{result.mean_load_balance_ratio:>10.2f}")
 
-    base, oovr = rows[0], rows[1]
-    print(f"\nOO-VR speedup        : {base[1] / oovr[1]:.2f}x")
-    print(f"OO-VR traffic saving : {100 * (1 - oovr[3] / base[3]):.0f}%")
+    speedup = results.normalize_to(
+        "baseline", "single_frame_cycles", invert=True
+    )["oo-vr"]["HL2-1280"]
+    traffic = results.normalize_to(
+        "baseline", "mean_inter_gpm_bytes_per_frame"
+    )["oo-vr"]["HL2-1280"]
+    print(f"\nOO-VR speedup        : {speedup:.2f}x")
+    print(f"OO-VR traffic saving : {100 * (1 - traffic):.0f}%")
 
 
 if __name__ == "__main__":

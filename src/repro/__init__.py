@@ -9,14 +9,31 @@ stereo VR rendering, reproducing Xie et al., *OO-VR* (ISCA 2019):
 - the OO-VR contribution (programming model, TSL batching, runtime
   distribution engine, distributed hardware composition).
 
-Quickstart::
+Quickstart — every experiment is a :class:`Session` (one run) or a
+:class:`Sweep` (a grid)::
 
-    from repro import baseline_system, build_framework, workload_scene
+    from repro import Session, Sweep
 
-    scene = workload_scene("HL2-1280")
-    oovr = build_framework("oo-vr")
-    result = oovr.render_scene(scene)
+    # One cell: OO-VR on Half-Life 2 at 1280x1024.
+    result = Session().framework("oo-vr").workload("HL2-1280").run()
     print(result.single_frame_cycles, result.traffic.total_bytes)
+
+    # A grid: two frameworks x two workloads, four worker processes,
+    # tidy records out.
+    records = (
+        Sweep()
+        .frameworks("baseline", "oo-vr")
+        .workloads("HL2-1280", "WE")
+        .fast()
+        .run(jobs=4)
+        .to_records()
+    )
+
+:class:`ResultSet` (what ``Sweep.run`` returns) exports ``to_json()`` /
+``to_csv()`` and computes paper-style series: ``pivot``, ``geomean_by``,
+and ``normalize_to`` (speedups and traffic ratios against a baseline
+column).  The same grids drive ``oovr fig``, ``oovr sweep --jobs N``,
+and the benchmark harness.
 """
 
 from repro.config import (
@@ -45,9 +62,18 @@ from repro.core import (
     RenderingTimePredictor,
     texture_sharing_level,
 )
+from repro.session import (
+    FAST,
+    FULL,
+    ExperimentConfig,
+    ResultSet,
+    RunSpec,
+    Session,
+    Sweep,
+)
 from repro.stats import FrameResult, SceneResult, geomean, normalize
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CostModel",
@@ -71,6 +97,13 @@ __all__ = [
     "OverheadModel",
     "RenderingTimePredictor",
     "texture_sharing_level",
+    "FAST",
+    "FULL",
+    "ExperimentConfig",
+    "ResultSet",
+    "RunSpec",
+    "Session",
+    "Sweep",
     "FrameResult",
     "SceneResult",
     "geomean",

@@ -1,12 +1,16 @@
 """Command-line interface: ``oovr``.
 
-Examples::
+Every experiment command is a thin wrapper over the Session/Sweep API
+(:mod:`repro.session`).  Examples::
 
     oovr fig 15                 # reproduce Figure 15 (full workloads)
-    oovr fig 4 --fast           # quick pass with scaled-down scenes
+    oovr fig 4 --fast --jobs 4  # quick pass, grid fanned over 4 processes
     oovr table 3                # print Table 3
     oovr overhead               # Section 5.4 overhead analysis
     oovr run oo-vr HL2-1280     # run one framework on one workload
+    oovr run oo-vr HL2-1280 --json    # ... as a JSON document
+    oovr sweep --frameworks oo-vr,afr --workloads HL2-1280,WE \\
+        --fast --jobs 4 --csv out.csv # grid -> tidy CSV records
     oovr list                   # list frameworks and workloads
     oovr trace record WE we.json.gz   # capture a workload as a trace
     oovr trace info we.json.gz        # profile a captured trace
@@ -16,14 +20,19 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
 from repro.experiments import figures, tables
-from repro.experiments.runner import FAST, FULL, scene_for
 from repro.frameworks.base import build_framework, framework_names
 from repro.scene.benchmarks import WORKLOADS
+from repro.session import FAST, FULL, Session, SessionError, SpecError, Sweep
 from repro.trace import load_scene, profile_scene, save_scene
+
+
+def _experiment(args: argparse.Namespace):
+    return FAST if getattr(args, "fast", False) else FULL
 
 
 def _cmd_fig(args: argparse.Namespace) -> int:
@@ -34,8 +43,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    experiment = FAST if args.fast else FULL
-    result = figures.FIGURES[key](experiment)
+    result = figures.FIGURES[key](_experiment(args), jobs=args.jobs)
     print(result.to_text())
     if args.chart:
         print()
@@ -44,7 +52,7 @@ def _cmd_fig(args: argparse.Namespace) -> int:
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
-    experiment = FAST if args.fast else FULL
+    experiment = _experiment(args)
     if args.number == "1":
         print(tables.table1_requirements())
     elif args.number == "2":
@@ -63,10 +71,16 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    experiment = FAST if args.fast else FULL
-    framework = build_framework(args.framework)
-    scene = scene_for(args.workload, experiment)
-    result = framework.render_scene(scene)
+    session = (
+        Session()
+        .framework(args.framework)
+        .workload(args.workload)
+        .preset(_experiment(args))
+    )
+    result = session.run()
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
     frame = result.frames[0]
     print(f"framework       : {result.framework}")
     print(f"workload        : {result.workload}")
@@ -82,18 +96,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
         frame.traffic.by_type.items(), key=lambda kv: -kv[1]
     ):
         print(f"  {traffic.value:<12} {nbytes / (1024 * 1024):8.2f} MB")
-    engine = getattr(framework, "last_engine", None)
+    engine = getattr(session.last_framework, "last_engine", None)
     if engine is not None and engine.records:
         from repro.stats.timeline import dispatch_timeline
 
         print("dispatch timeline (last frame):")
-        print(dispatch_timeline(engine.records, framework.config.num_gpms))
+        print(
+            dispatch_timeline(
+                engine.records, session.last_framework.config.num_gpms
+            )
+        )
+    return 0
+
+
+def _csv_list(text: str) -> Sequence[str]:
+    return tuple(item.strip() for item in text.split(",") if item.strip())
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweep = Sweep().preset(_experiment(args))
+    if args.frameworks is None:
+        sweep.frameworks(*framework_names())
+    else:
+        names = _csv_list(args.frameworks)
+        if not names:
+            raise SessionError("--frameworks was given but names no frameworks")
+        sweep.frameworks(*names)
+    if args.workloads is not None:
+        names = _csv_list(args.workloads)
+        if not names:
+            raise SessionError("--workloads was given but names no workloads")
+        sweep.workloads(*names)
+    if args.frames is not None:
+        sweep.frames(args.frames)
+    if args.seed is not None:
+        sweep.seed(args.seed)
+    results = sweep.run(jobs=args.jobs)
+
+    from repro.stats.reporting import format_table
+
+    rows = [
+        (
+            record["framework"],
+            record["workload"],
+            record["config_label"],
+            float(record["single_frame_cycles"]) / 1e6,
+            float(record["throughput_fps"]),
+            float(record["mean_inter_gpm_bytes_per_frame"]) / (1024 * 1024),
+            float(record["mean_load_balance_ratio"]),
+        )
+        for record in results.to_records()
+    ]
+    print(
+        format_table(
+            ("framework", "workload", "config", "Mcycles",
+             "FPS@1GHz", "MB/frame", "imbalance"),
+            rows,
+            title=f"sweep: {len(results)} runs ({args.jobs} jobs)",
+        )
+    )
+    if args.csv:
+        results.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        results.to_json(args.json)
+        print(f"wrote {args.json}")
     return 0
 
 
 def _cmd_trace_record(args: argparse.Namespace) -> int:
-    experiment = FAST if args.fast else FULL
-    scene = scene_for(args.workload, experiment)
+    scene = Session().preset(_experiment(args)).workload(args.workload).scene()
     path = save_scene(scene, args.path)
     profile = profile_scene(scene).representative
     print(
@@ -130,12 +202,11 @@ def _cmd_energy(args: argparse.Namespace) -> int:
         scene_energy,
     )
 
-    experiment = FAST if args.fast else FULL
+    experiment = _experiment(args)
     point = (
         IntegrationPoint.CROSS_NODE if args.nodes else IntegrationPoint.ON_BOARD
     )
     model = EnergyModel(EnergyConstants.for_integration(point))
-    scene = scene_for(args.workload, experiment)
     print(
         f"energy per frame on {args.workload} "
         f"({point.value}, {point.picojoules_per_bit:.0f} pJ/bit):"
@@ -143,7 +214,13 @@ def _cmd_energy(args: argparse.Namespace) -> int:
     print(f"{'scheme':<12}{'link mJ':>9}{'dram mJ':>9}{'sm mJ':>9}"
           f"{'engine mJ':>11}{'total mJ':>10}")
     for scheme in ("baseline", "object", "oo-vr"):
-        result = build_framework(scheme).render_scene(scene)
+        result = (
+            Session()
+            .preset(experiment)
+            .framework(scheme)
+            .workload(args.workload)
+            .run()
+        )
         e = scene_energy(result, model).per_frame
         print(
             f"{scheme:<12}{e.link_joules * 1e3:>9.2f}"
@@ -220,6 +297,10 @@ def make_parser() -> argparse.ArgumentParser:
     fig.add_argument("number", help="figure id (4, 7, 8, 9, 10, 15-18, smp)")
     fig.add_argument("--fast", action="store_true", help="scaled-down scenes")
     fig.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the figure's sweep",
+    )
+    fig.add_argument(
         "--chart", action="store_true", help="also draw a terminal bar chart"
     )
     fig.set_defaults(func=_cmd_fig)
@@ -237,7 +318,32 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("framework")
     run.add_argument("workload")
     run.add_argument("--fast", action="store_true")
+    run.add_argument(
+        "--json", action="store_true",
+        help="print the scene result as a JSON document",
+    )
     run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a (framework x workload) grid to tidy records"
+    )
+    sweep.add_argument(
+        "--frameworks",
+        help="comma-separated framework names (default: all registered)",
+    )
+    sweep.add_argument(
+        "--workloads",
+        help="comma-separated workload names (default: the full suite)",
+    )
+    sweep.add_argument("--fast", action="store_true", help="scaled-down scenes")
+    sweep.add_argument("--frames", type=int, help="frames per scene")
+    sweep.add_argument("--seed", type=int, help="scene-generation seed")
+    sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the grid"
+    )
+    sweep.add_argument("--csv", metavar="PATH", help="write records as CSV")
+    sweep.add_argument("--json", metavar="PATH", help="write records as JSON")
+    sweep.set_defaults(func=_cmd_sweep)
 
     trace = sub.add_parser("trace", help="capture/inspect/replay traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -281,7 +387,14 @@ def make_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = make_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (SessionError, SpecError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,11 +1,14 @@
 """Experiment harness: one entry point per paper table/figure.
 
-:mod:`repro.experiments.runner` provides the shared machinery (run a
-framework over the workload suite, cache scene generation, normalise);
-:mod:`repro.experiments.figures` implements Figs. 4-18;
+Everything here is a declarative grid on top of the Session/Sweep API
+(:mod:`repro.session`): :mod:`repro.experiments.figures` implements
+Figs. 4-18 as Sweeps plus formatting;
 :mod:`repro.experiments.tables` implements Tables 1-3 and the Section
-5.4 overhead analysis.  ``oovr`` (see :mod:`repro.cli`) prints any of
-them from the command line.
+5.4 overhead analysis; :mod:`repro.experiments.runner` keeps the
+backwards-compatible helpers (``run_framework_suite``, ``scene_for``)
+and the figure arithmetic (speedups, ratios, geometric-mean rows).
+``oovr`` (see :mod:`repro.cli`) prints any of them from the command
+line; ``oovr sweep`` exposes raw grids.
 """
 
 from repro.experiments.runner import (

@@ -1,5 +1,11 @@
 """Reproductions of the paper's figures (Sections 2-6).
 
+Every figure is a declarative :class:`~repro.session.Sweep` — the grid
+of (framework x workload x config) cells the paper plots — plus a small
+formatting step that pivots the resulting
+:class:`~repro.session.ResultSet` into paper-style series.  All
+functions accept ``jobs`` to fan the grid out over worker processes.
+
 Every function returns a :class:`FigureResult`: named series over the
 nine workload points (or a parameter sweep), plus the paper's reported
 values where the text states them, so benches can print paper-vs-
@@ -10,21 +16,13 @@ the Table 2 configuration (modulo the parameter being swept).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 from repro.config import baseline_system
-from repro.experiments.runner import (
-    FULL,
-    ExperimentConfig,
-    run_framework_suite,
-    scene_for,
-    single_frame_speedups,
-    throughput_speedups,
-    traffic_ratios,
-    with_average,
-)
+from repro.experiments.runner import FULL, ExperimentConfig, with_average
 from repro.frameworks.base import build_framework
-from repro.stats.metrics import SceneResult, geomean
+from repro.session import ResultSet, Sweep
+from repro.stats.metrics import geomean
 from repro.stats.reporting import series_table
 
 
@@ -79,6 +77,18 @@ def _rows(experiment: ExperimentConfig) -> List[str]:
     return [*experiment.workloads, "Avg."]
 
 
+def _suite(experiment: ExperimentConfig, *frameworks: str) -> Sweep:
+    """The common grid: given frameworks over the experiment's workloads."""
+    return Sweep().preset(experiment).frameworks(*frameworks)
+
+
+def _speedups(
+    results: ResultSet, metric: str = "single_frame_cycles"
+) -> Dict[str, Dict[str, float]]:
+    """Per-framework speedup series vs. the ``baseline`` framework."""
+    return results.normalize_to("baseline", metric, invert=True)
+
+
 # ---------------------------------------------------------------------------
 # Figure 4 — baseline sensitivity to inter-GPM link bandwidth
 # ---------------------------------------------------------------------------
@@ -86,8 +96,12 @@ def _rows(experiment: ExperimentConfig) -> List[str]:
 FIG4_BANDWIDTHS_GB = (1000.0, 256.0, 128.0, 64.0, 32.0)
 
 
+def _bandwidth_label(bandwidth: float) -> str:
+    return "1TB/s" if bandwidth >= 1000 else f"{bandwidth:.0f}GB/s"
+
+
 def fig04_bandwidth_sensitivity(
-    experiment: ExperimentConfig = FULL,
+    experiment: ExperimentConfig = FULL, jobs: int = 1
 ) -> FigureResult:
     """Normalised baseline performance as the links shrink (Fig. 4).
 
@@ -95,17 +109,19 @@ def fig04_bandwidth_sensitivity(
     the paper reports average degradations of 22 % / 42 % / 65 % at
     128 / 64 / 32 GB/s.
     """
-    per_bw: Dict[str, Dict[str, float]] = {}
-    reference: Dict[str, SceneResult] = {}
+    sweep = _suite(experiment, "baseline")
     for bandwidth in FIG4_BANDWIDTHS_GB:
-        config = baseline_system().with_link_bandwidth(bandwidth)
-        results = run_framework_suite("baseline", experiment, config)
-        if bandwidth == FIG4_BANDWIDTHS_GB[0]:
-            reference = results
-        label = "1TB/s" if bandwidth >= 1000 else f"{bandwidth:.0f}GB/s"
-        per_bw[label] = with_average(
-            single_frame_speedups(results, reference)
+        sweep.config(
+            baseline_system().with_link_bandwidth(bandwidth),
+            label=_bandwidth_label(bandwidth),
         )
+    speedups = sweep.run(jobs=jobs).normalize_to(
+        _bandwidth_label(FIG4_BANDWIDTHS_GB[0]),
+        "single_frame_cycles",
+        cols="config_label",
+        invert=True,
+    )
+    per_bw = {label: with_average(values) for label, values in speedups.items()}
     return FigureResult(
         figure="Figure 4",
         title="baseline performance vs. inter-GPM link bandwidth "
@@ -125,16 +141,16 @@ def fig04_bandwidth_sensitivity(
 # ---------------------------------------------------------------------------
 
 
-def fig07_afr(experiment: ExperimentConfig = FULL) -> FigureResult:
+def fig07_afr(
+    experiment: ExperimentConfig = FULL, jobs: int = 1
+) -> FigureResult:
     """AFR vs. baseline: overall performance and frame latency (Fig. 7)."""
-    baseline = run_framework_suite("baseline", experiment)
-    afr = run_framework_suite("afr", experiment)
-    overall = with_average(throughput_speedups(afr, baseline))
+    results = _suite(experiment, "baseline", "afr").run(jobs=jobs)
+    overall = with_average(
+        _speedups(results, "frame_interval_cycles")["afr"]
+    )
     latency = with_average(
-        {
-            w: afr[w].single_frame_cycles / baseline[w].single_frame_cycles
-            for w in afr
-        }
+        results.normalize_to("baseline", "single_frame_cycles")["afr"]
     )
     return FigureResult(
         figure="Figure 7",
@@ -159,16 +175,15 @@ _SFR_LABELS = {
 
 
 def fig08_sfr_performance(
-    experiment: ExperimentConfig = FULL,
+    experiment: ExperimentConfig = FULL, jobs: int = 1
 ) -> FigureResult:
     """SFR schemes' frame-rate speedup over the baseline (Fig. 8)."""
-    baseline = run_framework_suite("baseline", experiment)
-    series = {}
-    for scheme in SFR_SCHEMES:
-        results = run_framework_suite(scheme, experiment)
-        series[_SFR_LABELS[scheme]] = with_average(
-            throughput_speedups(results, baseline)
-        )
+    results = _suite(experiment, "baseline", *SFR_SCHEMES).run(jobs=jobs)
+    speedups = _speedups(results, "frame_interval_cycles")
+    series = {
+        _SFR_LABELS[scheme]: with_average(speedups[scheme])
+        for scheme in SFR_SCHEMES
+    }
     return FigureResult(
         figure="Figure 8",
         title="normalised performance of SFR schemes",
@@ -182,15 +197,18 @@ def fig08_sfr_performance(
     )
 
 
-def fig09_sfr_traffic(experiment: ExperimentConfig = FULL) -> FigureResult:
+def fig09_sfr_traffic(
+    experiment: ExperimentConfig = FULL, jobs: int = 1
+) -> FigureResult:
     """SFR schemes' inter-GPM traffic vs. the baseline (Fig. 9)."""
-    baseline = run_framework_suite("baseline", experiment)
-    series = {}
-    for scheme in SFR_SCHEMES:
-        results = run_framework_suite(scheme, experiment)
-        series[_SFR_LABELS[scheme]] = with_average(
-            traffic_ratios(results, baseline)
-        )
+    results = _suite(experiment, "baseline", *SFR_SCHEMES).run(jobs=jobs)
+    ratios = results.normalize_to(
+        "baseline", "mean_inter_gpm_bytes_per_frame"
+    )
+    series = {
+        _SFR_LABELS[scheme]: with_average(ratios[scheme])
+        for scheme in SFR_SCHEMES
+    }
     return FigureResult(
         figure="Figure 9",
         title="normalised inter-GPM memory traffic of SFR schemes",
@@ -209,11 +227,13 @@ def fig09_sfr_traffic(experiment: ExperimentConfig = FULL) -> FigureResult:
 # ---------------------------------------------------------------------------
 
 
-def fig10_load_balance(experiment: ExperimentConfig = FULL) -> FigureResult:
+def fig10_load_balance(
+    experiment: ExperimentConfig = FULL, jobs: int = 1
+) -> FigureResult:
     """Best-to-worst GPM busy-time ratio under object-level SFR."""
-    results = run_framework_suite("object", experiment)
+    results = _suite(experiment, "object").run(jobs=jobs)
     ratios = with_average(
-        {w: r.mean_load_balance_ratio for w, r in results.items()}
+        results.pivot("mean_load_balance_ratio")["object"]
     )
     return FigureResult(
         figure="Figure 10",
@@ -238,15 +258,16 @@ _FIG15_LABELS = {
 }
 
 
-def fig15_oovr_speedup(experiment: ExperimentConfig = FULL) -> FigureResult:
+def fig15_oovr_speedup(
+    experiment: ExperimentConfig = FULL, jobs: int = 1
+) -> FigureResult:
     """Single-frame speedup of all design points vs. baseline (Fig. 15)."""
-    baseline = run_framework_suite("baseline", experiment)
-    series = {}
-    for scheme in FIG15_SCHEMES:
-        results = run_framework_suite(scheme, experiment)
-        series[_FIG15_LABELS[scheme]] = with_average(
-            single_frame_speedups(results, baseline)
-        )
+    results = _suite(experiment, "baseline", *FIG15_SCHEMES).run(jobs=jobs)
+    speedups = _speedups(results)
+    series = {
+        _FIG15_LABELS[scheme]: with_average(speedups[scheme])
+        for scheme in FIG15_SCHEMES
+    }
     return FigureResult(
         figure="Figure 15",
         title="normalised single-frame speedup of the design scenarios",
@@ -260,15 +281,21 @@ def fig15_oovr_speedup(experiment: ExperimentConfig = FULL) -> FigureResult:
     )
 
 
-def fig16_oovr_traffic(experiment: ExperimentConfig = FULL) -> FigureResult:
+def fig16_oovr_traffic(
+    experiment: ExperimentConfig = FULL, jobs: int = 1
+) -> FigureResult:
     """Inter-GPM traffic: baseline vs. object-level vs. OO-VR (Fig. 16)."""
-    baseline = run_framework_suite("baseline", experiment)
+    results = _suite(experiment, "baseline", "object", "oo-vr").run(jobs=jobs)
+    ratios = results.normalize_to(
+        "baseline", "mean_inter_gpm_bytes_per_frame"
+    )
     series: Dict[str, Mapping[str, float]] = {
-        "Baseline": with_average({w: 1.0 for w in baseline})
+        "Baseline": with_average(
+            {workload: 1.0 for workload in experiment.workloads}
+        ),
+        "Object-Level": with_average(ratios["object"]),
+        "OOVR": with_average(ratios["oo-vr"]),
     }
-    for scheme, label in (("object", "Object-Level"), ("oo-vr", "OOVR")):
-        results = run_framework_suite(scheme, experiment)
-        series[label] = with_average(traffic_ratios(results, baseline))
     return FigureResult(
         figure="Figure 16",
         title="normalised inter-GPM memory traffic",
@@ -291,26 +318,30 @@ _FIG17_LABELS = {
 }
 
 
-def fig17_link_bandwidth(experiment: ExperimentConfig = FULL) -> FigureResult:
-    """Speedup vs. link bandwidth, normalised to baseline@64GB/s."""
-    reference: Optional[Dict[str, SceneResult]] = None
+def fig17_link_bandwidth(
+    experiment: ExperimentConfig = FULL, jobs: int = 1
+) -> FigureResult:
+    """Speedup vs. link bandwidth, normalised to baseline@64GB/s.
+
+    The 64 GB/s grid column doubles as the normalisation reference:
+    ``with_link_bandwidth(64)`` reproduces the Table 2 baseline config,
+    so no separate reference run is needed.
+    """
+    sweep = _suite(experiment, *FIG17_SCHEMES)
+    for bandwidth in FIG17_BANDWIDTHS_GB:
+        sweep.config(
+            baseline_system().with_link_bandwidth(bandwidth),
+            label=f"{bandwidth:.0f}GB/s",
+        )
+    means = sweep.run(jobs=jobs).geomean_by(
+        "single_frame_cycles", by=("framework", "config_label")
+    )
+    reference_mean = means[("baseline", "64GB/s")]
     series: Dict[str, Dict[str, float]] = {
         label: {} for label in _FIG17_LABELS.values()
     }
-    base_config = baseline_system()
-    reference = run_framework_suite("baseline", experiment, base_config)
-    reference_mean = geomean(
-        [r.single_frame_cycles for r in reference.values()]
-    )
-    for bandwidth in FIG17_BANDWIDTHS_GB:
-        config = baseline_system().with_link_bandwidth(bandwidth)
-        row = f"{bandwidth:.0f}GB/s"
-        for scheme in FIG17_SCHEMES:
-            results = run_framework_suite(scheme, experiment, config)
-            mean_cycles = geomean(
-                [r.single_frame_cycles for r in results.values()]
-            )
-            series[_FIG17_LABELS[scheme]][row] = reference_mean / mean_cycles
+    for (scheme, row), mean_cycles in means.items():
+        series[_FIG17_LABELS[scheme]][row] = reference_mean / mean_cycles
     return FigureResult(
         figure="Figure 17",
         title="speedup vs. inter-GPM link bandwidth "
@@ -331,24 +362,22 @@ FIG18_GPM_COUNTS = (1, 2, 4, 8)
 FIG18_SCHEMES = ("baseline", "object", "oo-vr")
 
 
-def fig18_scalability(experiment: ExperimentConfig = FULL) -> FigureResult:
+def fig18_scalability(
+    experiment: ExperimentConfig = FULL, jobs: int = 1
+) -> FigureResult:
     """Speedup over a single GPM as the module count grows (Fig. 18)."""
+    sweep = _suite(experiment, *FIG18_SCHEMES)
+    for count in FIG18_GPM_COUNTS:
+        sweep.config(baseline_system(num_gpms=count), label=f"{count} GPM")
+    means = sweep.run(jobs=jobs).geomean_by(
+        "single_frame_cycles", by=("framework", "config_label")
+    )
+    single_mean = means[("baseline", f"{FIG18_GPM_COUNTS[0]} GPM")]
     series: Dict[str, Dict[str, float]] = {
         _FIG17_LABELS[s]: {} for s in FIG18_SCHEMES
     }
-    single = run_framework_suite(
-        "baseline", experiment, baseline_system(num_gpms=1)
-    )
-    single_mean = geomean([r.single_frame_cycles for r in single.values()])
-    for count in FIG18_GPM_COUNTS:
-        config = baseline_system(num_gpms=count)
-        row = f"{count} GPM"
-        for scheme in FIG18_SCHEMES:
-            results = run_framework_suite(scheme, experiment, config)
-            mean_cycles = geomean(
-                [r.single_frame_cycles for r in results.values()]
-            )
-            series[_FIG17_LABELS[scheme]][row] = single_mean / mean_cycles
+    for (scheme, row), mean_cycles in means.items():
+        series[_FIG17_LABELS[scheme]][row] = single_mean / mean_cycles
     return FigureResult(
         figure="Figure 18",
         title="speedup over single GPM vs. number of GPMs",
@@ -368,20 +397,25 @@ def fig18_scalability(experiment: ExperimentConfig = FULL) -> FigureResult:
 # ---------------------------------------------------------------------------
 
 
-def smp_validation(experiment: ExperimentConfig = FULL) -> FigureResult:
+def smp_validation(
+    experiment: ExperimentConfig = FULL, jobs: int = 1
+) -> FigureResult:
     """SMP multi-view vs. sequential stereo on one GPM (~27 % gain).
 
     Mirrors the paper's validation of the ATTILA SMP engine: the same
     frames rendered as two sequential per-eye passes and as SMP
-    multi-view draws on a single-GPM system.
+    multi-view draws on a single-GPM system.  The comparison drives the
+    pipeline below the framework layer, so it runs serially regardless
+    of ``jobs``.
     """
     from repro.gpu.system import MultiGPUSystem
     from repro.pipeline.smp import SMPMode
+    from repro.session import Session
 
     config = baseline_system(num_gpms=1)
     speedups: Dict[str, float] = {}
     for workload in experiment.workloads:
-        scene = scene_for(workload, experiment)
+        scene = Session().preset(experiment).workload(workload).scene()
         frame = scene.representative_frame
         framework = build_framework("baseline", config)
 

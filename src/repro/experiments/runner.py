@@ -1,62 +1,39 @@
-"""Shared experiment machinery.
+"""Shared experiment machinery, re-platformed on :mod:`repro.session`.
 
-Scenes are deterministic per (workload, seed, scale) and cached within a
-process, so sweeps that revisit the same workload under different
-hardware configurations (Figs. 4, 17, 18) compare identical inputs.
+The canonical experiment surface is now the Session/Sweep API; this
+module keeps the thin helpers the figures' arithmetic is written in
+(speedups, traffic ratios, geometric-mean rows) plus backwards-
+compatible aliases: :class:`ExperimentConfig`, the :data:`FAST` /
+:data:`FULL` presets, :func:`scene_for`, and :func:`run_framework_suite`
+(a one-framework :class:`~repro.session.Sweep`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import lru_cache
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional
 
-from repro.config import SystemConfig, baseline_system
-from repro.frameworks.base import build_framework
-from repro.scene.benchmarks import WORKLOADS, make_benchmark_scene
+from repro.config import SystemConfig
 from repro.scene.scene import Scene
+from repro.session import FAST, FULL, ExperimentConfig, Sweep
+from repro.session.spec import cached_scene
 from repro.stats.metrics import SceneResult, geomean
 
-
-@dataclass(frozen=True)
-class ExperimentConfig:
-    """Knobs shared by every experiment run.
-
-    ``draw_scale`` shrinks workloads uniformly (the fast test suite uses
-    ~0.15); benchmarks run at 1.0.  ``num_frames`` is the scene length;
-    AFR needs at least ``num_gpms`` frames to show pipelining.
-    """
-
-    draw_scale: float = 1.0
-    num_frames: int = 3
-    seed: int = 2019
-    workloads: Sequence[str] = WORKLOADS
-
-    def __post_init__(self) -> None:
-        if self.draw_scale <= 0:
-            raise ValueError("draw_scale must be positive")
-        if self.num_frames < 1:
-            raise ValueError("need at least one frame")
-
-
-#: The experiment configuration used by the benchmark harness.
-FULL = ExperimentConfig()
-#: A reduced configuration for quick runs and the test suite.
-FAST = ExperimentConfig(draw_scale=0.15, num_frames=2)
-
-
-@lru_cache(maxsize=128)
-def _cached_scene(
-    workload: str, num_frames: int, seed: int, draw_scale: float
-) -> Scene:
-    return make_benchmark_scene(
-        workload, num_frames=num_frames, seed=seed, draw_scale=draw_scale
-    )
+__all__ = [
+    "ExperimentConfig",
+    "FAST",
+    "FULL",
+    "scene_for",
+    "run_framework_suite",
+    "single_frame_speedups",
+    "throughput_speedups",
+    "traffic_ratios",
+    "with_average",
+]
 
 
 def scene_for(workload: str, experiment: ExperimentConfig = FULL) -> Scene:
     """The (cached) scene for one workload point."""
-    return _cached_scene(
+    return cached_scene(
         workload, experiment.num_frames, experiment.seed, experiment.draw_scale
     )
 
@@ -65,13 +42,13 @@ def run_framework_suite(
     framework_name: str,
     experiment: ExperimentConfig = FULL,
     config: Optional[SystemConfig] = None,
+    jobs: int = 1,
 ) -> Dict[str, SceneResult]:
     """Run one framework over every workload of the experiment."""
-    results: Dict[str, SceneResult] = {}
-    for workload in experiment.workloads:
-        framework = build_framework(framework_name, config)
-        results[workload] = framework.render_scene(scene_for(workload, experiment))
-    return results
+    sweep = Sweep().preset(experiment).frameworks(framework_name)
+    if config is not None:
+        sweep.config(config)
+    return sweep.run(jobs=jobs).by_workload()
 
 
 def single_frame_speedups(

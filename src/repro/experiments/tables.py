@@ -6,9 +6,10 @@ from typing import Dict, List, Tuple
 
 from repro.config import SystemConfig, baseline_system
 from repro.core.overhead import OverheadModel
-from repro.experiments.runner import FULL, ExperimentConfig, scene_for
+from repro.experiments.runner import FULL, ExperimentConfig
 from repro.scene.benchmarks import BENCHMARKS
 from repro.scene.vr import requirements_table
+from repro.session import Session
 from repro.stats.reporting import format_table
 
 
@@ -74,7 +75,7 @@ def table3_benchmarks(experiment: ExperimentConfig = FULL) -> str:
     """
     rows = []
     for abbr, spec in BENCHMARKS.items():
-        scene = scene_for(abbr, experiment)
+        scene = Session().preset(experiment).workload(abbr).scene()
         frame = scene.representative_frame
         resolutions = ", ".join(f"{w}x{h}" for w, h in spec.resolutions)
         rows.append(

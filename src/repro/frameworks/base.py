@@ -94,14 +94,38 @@ _REGISTRY: Dict[str, Callable[[Optional[SystemConfig]], RenderingFramework]] = {
 def register_framework(
     name: str,
 ) -> Callable[[type], type]:
-    """Class decorator adding a framework to the registry."""
+    """Class decorator adding a framework to the registry.
+
+    Re-decorating the same class is an idempotent no-op (modules may be
+    re-executed under some import schemes); registering a *different*
+    class under a taken name is rejected.
+    """
 
     def decorate(cls: type) -> type:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ValueError(
+                f"framework name {name!r} already registered by "
+                f"{existing.__module__}.{existing.__qualname__}"
+            )
         cls.name = name
         _REGISTRY[name] = cls
         return cls
 
     return decorate
+
+
+def _ensure_registered() -> None:
+    """Import every framework implementation exactly once.
+
+    The registry is populated by ``@register_framework`` decorators at
+    import time; pulling the implementation modules in here makes the
+    registry complete regardless of which module the caller imported
+    first.
+    """
+    from repro.frameworks import afr, object_sfr, single, tile_sfr  # noqa: F401
+    from repro.core import oovr  # noqa: F401
+    from repro.extensions import migration  # noqa: F401
 
 
 def build_framework(
@@ -112,12 +136,7 @@ def build_framework(
     Known names: ``baseline``, ``1tbs-bw``, ``afr``, ``tile-v``,
     ``tile-h``, ``object``, ``oo-app``, ``oo-vr``.
     """
-    # Import the implementations lazily so the registry is populated
-    # regardless of which module the caller imported first.
-    from repro.frameworks import afr, object_sfr, single, tile_sfr  # noqa: F401
-    from repro.core import oovr  # noqa: F401
-    from repro.extensions import migration  # noqa: F401
-
+    _ensure_registered()
     if name not in _REGISTRY:
         raise KeyError(f"unknown framework {name!r}; have {sorted(_REGISTRY)}")
     return _REGISTRY[name](config)
@@ -125,8 +144,5 @@ def build_framework(
 
 def framework_names() -> List[str]:
     """All registered framework names (after importing implementations)."""
-    from repro.frameworks import afr, object_sfr, single, tile_sfr  # noqa: F401
-    from repro.core import oovr  # noqa: F401
-    from repro.extensions import migration  # noqa: F401
-
+    _ensure_registered()
     return sorted(_REGISTRY)

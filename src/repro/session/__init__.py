@@ -1,0 +1,47 @@
+"""Unified Session/Sweep API: one composable entry point per experiment.
+
+Every experiment in this repo — each figure, table, example, and bench —
+is a cell (or grid of cells) of the paper's evaluation space
+(framework x workload x system config).  This package names that space:
+
+- :class:`RunSpec` — one frozen, picklable cell;
+- :class:`Session` — fluent builder for a single run::
+
+      Session().framework("oo-vr").workload("HL2-1280").fast().run()
+
+- :class:`Sweep` — cartesian grids with optional multi-process
+  execution (``.run(jobs=4)``) and deterministic ordering;
+- :class:`ResultSet` — tidy records with ``to_records`` / ``to_json`` /
+  ``to_csv`` export and the paper's figure math (``pivot``,
+  ``geomean_by``, ``normalize_to``).
+
+:data:`FAST` and :data:`FULL` are the two standard scale presets
+(:class:`ExperimentConfig`), applied with ``.fast()`` / ``.full()`` /
+``.preset(...)``.
+"""
+
+from repro.session.result import ResultSet
+from repro.session.session import Session, SessionError, Sweep
+from repro.session.spec import (
+    DEFAULT_FRAMES,
+    DEFAULT_SEED,
+    FAST,
+    FULL,
+    ExperimentConfig,
+    RunSpec,
+    SpecError,
+)
+
+__all__ = [
+    "DEFAULT_FRAMES",
+    "DEFAULT_SEED",
+    "ExperimentConfig",
+    "FAST",
+    "FULL",
+    "ResultSet",
+    "RunSpec",
+    "Session",
+    "SessionError",
+    "SpecError",
+    "Sweep",
+]

@@ -1,0 +1,186 @@
+"""Structured results of a sweep: tidy records plus paper-style math.
+
+A :class:`ResultSet` pairs every executed :class:`~repro.session.spec.RunSpec`
+with its :class:`~repro.stats.metrics.SceneResult` and offers the
+operations the paper's figures are made of: pivoting a metric into
+(row, column) series, normalising one column against a baseline
+(speedups, traffic ratios), geometric means per group, and export to
+tidy records / JSON / CSV.  Exports share the
+:meth:`SceneResult.to_dict` serialisation path used by ``oovr run
+--json``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.memory.link import TrafficType
+from repro.session.spec import RunSpec
+from repro.stats.metrics import SceneResult, geomean
+
+GroupKey = Union[str, Tuple[str, ...]]
+
+
+class ResultSet:
+    """Ordered (spec, result) pairs from one sweep."""
+
+    def __init__(self, runs: Sequence[Tuple[RunSpec, SceneResult]]) -> None:
+        self._runs: List[Tuple[RunSpec, SceneResult]] = list(runs)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def __iter__(self) -> Iterator[Tuple[RunSpec, SceneResult]]:
+        return iter(self._runs)
+
+    @property
+    def specs(self) -> List[RunSpec]:
+        return [spec for spec, _ in self._runs]
+
+    @property
+    def results(self) -> List[SceneResult]:
+        return [result for _, result in self._runs]
+
+    # -- selection ----------------------------------------------------------
+
+    def select(self, **where: object) -> "ResultSet":
+        """The subset whose record fields equal every ``where`` item."""
+        kept = [
+            (spec, result)
+            for spec, result in self._runs
+            if all(
+                spec.record_fields().get(key) == value
+                for key, value in where.items()
+            )
+        ]
+        return ResultSet(kept)
+
+    def get(self, **where: object) -> SceneResult:
+        """The single result matching ``where`` (error if not exactly one)."""
+        subset = self.select(**where)
+        if len(subset) != 1:
+            raise KeyError(
+                f"expected exactly one result for {where}, got {len(subset)}"
+            )
+        return subset.results[0]
+
+    def by_workload(self, **where: object) -> Dict[str, SceneResult]:
+        """Workload -> result mapping (the legacy suite-run shape)."""
+        subset = self.select(**where) if where else self
+        out: Dict[str, SceneResult] = {}
+        for spec, result in subset:
+            out[spec.workload] = result
+        return out
+
+    # -- tidy records -------------------------------------------------------
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """One flat dict per run: spec identity + scene summary metrics.
+
+        Traffic is flattened into one ``traffic_<type>`` column per
+        :class:`TrafficType` so every record has identical keys.
+        """
+        records: List[Dict[str, object]] = []
+        for spec, result in self._runs:
+            summary = result.to_dict(include_frames=False)
+            traffic = summary.pop("traffic")
+            record = spec.record_fields()
+            for key, value in summary.items():
+                if key not in record:  # spec identity wins on overlap
+                    record[key] = value
+            for traffic_type in TrafficType:
+                record[f"traffic_{traffic_type.value}"] = traffic.get(
+                    traffic_type.value, 0.0
+                )
+            records.append(record)
+        return records
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        """The records as a JSON array; optionally written to ``path``."""
+        text = json.dumps(self.to_records(), indent=indent)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return text
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """The records as CSV with a deterministic column order."""
+        records = self.to_records()
+        if not records:
+            return ""
+        columns = list(records[0])
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns, lineterminator="\n")
+        writer.writeheader()
+        writer.writerows(records)
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", encoding="utf-8", newline="") as handle:
+                handle.write(text)
+        return text
+
+    # -- figure math --------------------------------------------------------
+
+    def _group_key(self, record: Dict[str, object], by: GroupKey):
+        if isinstance(by, tuple):
+            return tuple(record[field] for field in by)
+        return record[by]
+
+    def pivot(
+        self,
+        metric: str,
+        rows: str = "workload",
+        cols: str = "framework",
+    ) -> Dict[object, Dict[object, float]]:
+        """``{col: {row: metric}}`` series, in run order."""
+        out: Dict[object, Dict[object, float]] = {}
+        for record in self.to_records():
+            col = record[cols]
+            out.setdefault(col, {})[record[rows]] = float(record[metric])
+        return out
+
+    def geomean_by(
+        self, metric: str, by: GroupKey = "framework"
+    ) -> Dict[object, float]:
+        """Geometric mean of ``metric`` per group (``by`` field or tuple)."""
+        groups: Dict[object, List[float]] = {}
+        for record in self.to_records():
+            key = self._group_key(record, by)
+            groups.setdefault(key, []).append(float(record[metric]))
+        return {key: geomean(values) for key, values in groups.items()}
+
+    def normalize_to(
+        self,
+        baseline: object,
+        metric: str,
+        rows: str = "workload",
+        cols: str = "framework",
+        invert: bool = False,
+    ) -> Dict[object, Dict[object, float]]:
+        """Each column's ``metric`` relative to the ``baseline`` column.
+
+        With ``invert=False`` cells are ``mine / base`` (paper-style
+        traffic ratios); with ``invert=True`` they are ``base / mine``
+        (speedups).  A zero denominator yields 0.0, matching the
+        traffic-ratio convention for workloads without baseline bytes.
+        """
+        table = self.pivot(metric, rows=rows, cols=cols)
+        if baseline not in table:
+            raise KeyError(
+                f"baseline {baseline!r} missing from {sorted(map(str, table))}"
+            )
+        base_row = table[baseline]
+        out: Dict[object, Dict[object, float]] = {}
+        for col, values in table.items():
+            normalised: Dict[object, float] = {}
+            for row, value in values.items():
+                base = base_row[row]
+                num, den = (base, value) if invert else (value, base)
+                normalised[row] = num / den if den > 0 else 0.0
+            out[col] = normalised
+        return out

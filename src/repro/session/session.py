@@ -1,0 +1,262 @@
+"""Fluent builders for single runs and cartesian sweeps.
+
+``Session`` configures and executes one cell::
+
+    result = Session().framework("oo-vr").workload("HL2-1280").fast().run()
+
+``Sweep`` expands cartesian (config x framework x workload) grids into
+:class:`~repro.session.spec.RunSpec` lists and executes them — serially
+or across worker processes — into a
+:class:`~repro.session.result.ResultSet`::
+
+    records = (
+        Sweep()
+        .frameworks("baseline", "oo-vr")
+        .workloads("HL2-1280", "WE")
+        .fast()
+        .run(jobs=4)
+        .to_records()
+    )
+
+Execution is deterministic: specs run (or are gathered) in grid order,
+so a parallel sweep produces records identical to a serial one.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import SystemConfig
+from repro.scene.scene import Scene
+from repro.session.result import ResultSet
+from repro.session.spec import (
+    DEFAULT_FRAMES,
+    DEFAULT_SEED,
+    FAST,
+    FULL,
+    ExperimentConfig,
+    RunSpec,
+    SpecError,
+)
+from repro.stats.metrics import SceneResult
+
+
+class SessionError(ValueError):
+    """Raised when a builder is incomplete or inconsistent."""
+
+
+def _execute_spec(spec: RunSpec) -> SceneResult:
+    """Top-level worker so ``ProcessPoolExecutor`` can pickle it."""
+    return spec.execute()
+
+
+class _ScaleMixin:
+    """The scale knobs shared by ``Session`` and ``Sweep``."""
+
+    def __init__(self) -> None:
+        self._num_frames: int = DEFAULT_FRAMES
+        self._seed: int = DEFAULT_SEED
+        self._draw_scale: float = 1.0
+
+    def frames(self, num_frames: int):
+        if num_frames < 1:
+            raise SessionError("need at least one frame")
+        self._num_frames = int(num_frames)
+        return self
+
+    def seed(self, seed: int):
+        self._seed = int(seed)
+        return self
+
+    def scale(self, draw_scale: float):
+        if draw_scale <= 0:
+            raise SessionError("draw_scale must be positive")
+        self._draw_scale = float(draw_scale)
+        return self
+
+    def preset(self, experiment: ExperimentConfig):
+        """Apply an :class:`ExperimentConfig`'s scale/frames/seed."""
+        self._num_frames = experiment.num_frames
+        self._seed = experiment.seed
+        self._draw_scale = experiment.draw_scale
+        return self
+
+    def fast(self):
+        """The reduced preset used by tests and quick CLI passes."""
+        return self.preset(FAST)
+
+    def full(self):
+        """The full-scale preset used by the benchmark harness."""
+        return self.preset(FULL)
+
+
+def _config_label(config: SystemConfig) -> str:
+    """A readable default label for a custom config axis point."""
+    return (
+        f"{config.num_gpms}gpm@{config.link.bytes_per_cycle:.0f}GB/s"
+    )
+
+
+class Session(_ScaleMixin):
+    """Fluent builder for one (framework, workload) run."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._framework: Optional[str] = None
+        self._workload: Optional[str] = None
+        self._config: Optional[SystemConfig] = None
+        self._config_label: Optional[str] = None
+        #: The framework instance of the last ``run()`` (for engine
+        #: introspection, e.g. dispatch timelines).
+        self.last_framework = None
+
+    def framework(self, name: str) -> "Session":
+        self._framework = name
+        return self
+
+    def workload(self, name: str) -> "Session":
+        self._workload = name
+        return self
+
+    def config(
+        self, config: Optional[SystemConfig], label: Optional[str] = None
+    ) -> "Session":
+        self._config = config
+        self._config_label = label
+        return self
+
+    def spec(self) -> RunSpec:
+        """The validated :class:`RunSpec` this builder describes."""
+        if self._framework is None:
+            raise SessionError("no framework selected; call .framework(name)")
+        if self._workload is None:
+            raise SessionError("no workload selected; call .workload(name)")
+        label = self._config_label
+        if label is None:
+            label = "base" if self._config is None else _config_label(self._config)
+        return RunSpec(
+            framework=self._framework,
+            workload=self._workload,
+            config=self._config,
+            num_frames=self._num_frames,
+            seed=self._seed,
+            draw_scale=self._draw_scale,
+            config_label=label,
+        ).validate()
+
+    def scene(self) -> Scene:
+        """The (memoised) scene the run would render.
+
+        Only the workload and scale knobs are needed, so the framework
+        may be left unset (used by Table 3's workload audit).
+        """
+        if self._workload is None:
+            raise SessionError("no workload selected; call .workload(name)")
+        probe = RunSpec(
+            framework="baseline",
+            workload=self._workload,
+            num_frames=self._num_frames,
+            seed=self._seed,
+            draw_scale=self._draw_scale,
+        ).validate()
+        return probe.scene()
+
+    def run(self) -> SceneResult:
+        """Execute the run and return its :class:`SceneResult`."""
+        from repro.frameworks.base import build_framework
+
+        spec = self.spec()
+        framework = build_framework(spec.framework, spec.config)
+        self.last_framework = framework
+        return framework.render_scene(spec.scene())
+
+
+class Sweep(_ScaleMixin):
+    """Cartesian (config x framework x workload) grid of runs."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._frameworks: List[str] = []
+        self._workloads: List[str] = []
+        self._configs: List[Tuple[str, Optional[SystemConfig]]] = []
+        self._default_workloads: Sequence[str] = FULL.workloads
+
+    # -- axes ---------------------------------------------------------------
+
+    def frameworks(self, *names: str) -> "Sweep":
+        """Append framework axis points (order defines run order)."""
+        for name in names:
+            if name in self._frameworks:
+                raise SessionError(f"framework {name!r} listed twice")
+            self._frameworks.append(name)
+        return self
+
+    def workloads(self, *names: str) -> "Sweep":
+        """Append workload axis points (order defines run order)."""
+        for name in names:
+            if name in self._workloads:
+                raise SessionError(f"workload {name!r} listed twice")
+            self._workloads.append(name)
+        return self
+
+    def config(
+        self, config: SystemConfig, label: Optional[str] = None
+    ) -> "Sweep":
+        """Append a system-config axis point (e.g. a link bandwidth)."""
+        label = label or _config_label(config)
+        if any(existing == label for existing, _ in self._configs):
+            raise SessionError(f"config label {label!r} listed twice")
+        self._configs.append((label, config))
+        return self
+
+    def preset(self, experiment: ExperimentConfig) -> "Sweep":
+        super().preset(experiment)
+        self._default_workloads = experiment.workloads
+        return self
+
+    # -- expansion and execution --------------------------------------------
+
+    def specs(self) -> List[RunSpec]:
+        """The validated grid, in deterministic config>framework>workload order."""
+        if not self._frameworks:
+            raise SessionError("no frameworks selected; call .frameworks(...)")
+        workloads = self._workloads or list(self._default_workloads)
+        if not workloads:
+            raise SessionError("no workloads selected; call .workloads(...)")
+        configs = self._configs or [("base", None)]
+        out: List[RunSpec] = []
+        for label, config in configs:
+            for framework in self._frameworks:
+                for workload in workloads:
+                    out.append(
+                        RunSpec(
+                            framework=framework,
+                            workload=workload,
+                            config=config,
+                            num_frames=self._num_frames,
+                            seed=self._seed,
+                            draw_scale=self._draw_scale,
+                            config_label=label,
+                        ).validate()
+                    )
+        return out
+
+    def run(self, jobs: int = 1) -> ResultSet:
+        """Execute the grid into a :class:`ResultSet`.
+
+        ``jobs > 1`` fans specs out over a ``ProcessPoolExecutor``;
+        results are gathered in grid order, so the records (and any CSV
+        or JSON export) are identical to a serial run.  Scene
+        construction is memoised per process.
+        """
+        if jobs < 1:
+            raise SessionError("jobs must be at least 1")
+        specs = self.specs()
+        if jobs == 1 or len(specs) <= 1:
+            results = [_execute_spec(spec) for spec in specs]
+        else:
+            workers = min(jobs, len(specs))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(_execute_spec, specs))
+        return ResultSet(list(zip(specs, results)))

@@ -1,0 +1,158 @@
+"""Run specifications: the atomic unit of every experiment.
+
+A :class:`RunSpec` names one cell of the paper's evaluation grid —
+(framework, workload, system config, frames, seed, draw scale) — and
+knows how to execute itself into a
+:class:`~repro.stats.metrics.SceneResult`.  Specs are frozen and
+picklable, so a sweep can ship them to worker processes unchanged.
+
+:class:`ExperimentConfig` (with the :data:`FAST` / :data:`FULL`
+presets) captures the scale knobs shared by a whole grid; it is the
+canonical home of what :mod:`repro.experiments.runner` used to define.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.scene.benchmarks import (
+    WORKLOADS,
+    make_benchmark_scene,
+    parse_workload,
+)
+from repro.scene.scene import Scene
+from repro.stats.metrics import SceneResult
+
+
+class SpecError(ValueError):
+    """Raised when a run specification is incomplete or inconsistent."""
+
+
+#: Default scene length; AFR needs >= num_gpms frames to show pipelining.
+DEFAULT_FRAMES = 3
+#: Default scene-generation seed (the paper's publication year).
+DEFAULT_SEED = 2019
+#: Draw scale of the reduced preset used by tests and quick CLI passes.
+FAST_SCALE = 0.15
+#: Scene length of the reduced preset.
+FAST_FRAMES = 2
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale knobs shared by every run of an experiment grid.
+
+    ``draw_scale`` shrinks workloads uniformly (the fast preset uses
+    0.15); benchmarks run at 1.0.  ``num_frames`` is the scene length.
+    """
+
+    draw_scale: float = 1.0
+    num_frames: int = DEFAULT_FRAMES
+    seed: int = DEFAULT_SEED
+    workloads: Sequence[str] = WORKLOADS
+
+    def __post_init__(self) -> None:
+        if self.draw_scale <= 0:
+            raise ValueError("draw_scale must be positive")
+        if self.num_frames < 1:
+            raise ValueError("need at least one frame")
+
+
+#: The full-scale preset used by the benchmark harness.
+FULL = ExperimentConfig()
+#: The reduced preset for quick runs and the test suite.
+FAST = ExperimentConfig(draw_scale=FAST_SCALE, num_frames=FAST_FRAMES)
+
+
+@lru_cache(maxsize=128)
+def cached_scene(
+    workload: str, num_frames: int, seed: int, draw_scale: float
+) -> Scene:
+    """The per-process memoised scene for one workload point.
+
+    The single scene-construction path shared by :meth:`RunSpec.scene`,
+    :meth:`Session.scene <repro.session.session.Session.scene>` and the
+    legacy ``runner.scene_for`` helper.
+    """
+    return make_benchmark_scene(
+        workload, num_frames=num_frames, seed=seed, draw_scale=draw_scale
+    )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (framework, workload, config) cell of the evaluation grid."""
+
+    framework: str
+    workload: str
+    config: Optional[SystemConfig] = None
+    num_frames: int = DEFAULT_FRAMES
+    seed: int = DEFAULT_SEED
+    draw_scale: float = 1.0
+    #: Label identifying the config axis in records (e.g. "64GB/s").
+    config_label: str = "base"
+
+    def validate(self) -> "RunSpec":
+        """Check the spec against the registries; return it for chaining."""
+        from repro.frameworks.base import framework_names
+
+        known = framework_names()
+        if self.framework not in known:
+            raise SpecError(
+                f"unknown framework {self.framework!r}; have {known}"
+            )
+        try:
+            # Accepts the nine WORKLOADS points and bare abbreviations
+            # like "DM3" (default resolution), matching scene builders.
+            parse_workload(self.workload)
+        except KeyError as error:
+            raise SpecError(f"unknown workload: {error.args[0]}") from error
+        if self.num_frames < 1:
+            raise SpecError("need at least one frame")
+        if self.draw_scale <= 0:
+            raise SpecError("draw_scale must be positive")
+        if self.config is not None:
+            self.config.validate()
+        return self
+
+    def with_preset(self, experiment: ExperimentConfig) -> "RunSpec":
+        """A copy with the preset's scale/frames/seed applied."""
+        return replace(
+            self,
+            draw_scale=experiment.draw_scale,
+            num_frames=experiment.num_frames,
+            seed=experiment.seed,
+        )
+
+    def scene(self) -> Scene:
+        """The (memoised) scene this spec renders.
+
+        Scenes are deterministic per (workload, frames, seed, scale) and
+        cached within a process, so sweeps that revisit the same
+        workload under different hardware configurations (Figs. 4, 17,
+        18) compare identical inputs.
+        """
+        return cached_scene(
+            self.workload, self.num_frames, self.seed, self.draw_scale
+        )
+
+    def execute(self) -> SceneResult:
+        """Render this cell: fresh framework, memoised scene."""
+        from repro.frameworks.base import build_framework
+
+        framework = build_framework(self.framework, self.config)
+        return framework.render_scene(self.scene())
+
+    def record_fields(self) -> dict:
+        """The spec's identity columns of a tidy result record."""
+        return {
+            "framework": self.framework,
+            "workload": self.workload,
+            "config_label": self.config_label,
+            "num_frames": self.num_frames,
+            "seed": self.seed,
+            "draw_scale": self.draw_scale,
+        }

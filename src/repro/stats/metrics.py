@@ -96,6 +96,25 @@ class FrameResult:
     def latency_ms(self, clock_hz: float = 1e9) -> float:
         return self.cycles / clock_hz * 1e3
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of the frame (traffic keyed by type name).
+
+        The single serialisation path shared by ``oovr run --json`` and
+        :meth:`ResultSet.to_records <repro.session.result.ResultSet.to_records>`.
+        """
+        return {
+            "framework": self.framework,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "gpm_busy_cycles": list(self.gpm_busy_cycles),
+            "composition_cycles": self.composition_cycles,
+            "traffic": {t.value: b for t, b in self.traffic.by_type.items()},
+            "dram_bytes": list(self.dram_bytes),
+            "resident_bytes": self.resident_bytes,
+            "inter_gpm_bytes": self.inter_gpm_bytes,
+            "load_balance_ratio": self.load_balance_ratio,
+        }
+
 
 @dataclass(frozen=True)
 class SceneResult:
@@ -157,6 +176,28 @@ class SceneResult:
     def mean_load_balance_ratio(self) -> float:
         frames = self.steady_frames
         return sum(f.load_balance_ratio for f in frames) / len(frames)
+
+    def to_dict(self, include_frames: bool = True) -> Dict[str, object]:
+        """JSON-ready view of the scene outcome.
+
+        Summary metrics always; per-frame detail (via
+        :meth:`FrameResult.to_dict`) unless ``include_frames`` is off —
+        result-set records only keep the summary.
+        """
+        out: Dict[str, object] = {
+            "framework": self.framework,
+            "workload": self.workload,
+            "num_frames": len(self.frames),
+            "frame_interval_cycles": self.frame_interval_cycles,
+            "single_frame_cycles": self.single_frame_cycles,
+            "throughput_fps": self.throughput_fps,
+            "mean_inter_gpm_bytes_per_frame": self.mean_inter_gpm_bytes_per_frame,
+            "mean_load_balance_ratio": self.mean_load_balance_ratio,
+            "traffic": {t.value: b for t, b in self.traffic.by_type.items()},
+        }
+        if include_frames:
+            out["frames"] = [frame.to_dict() for frame in self.frames]
+        return out
 
 
 def geomean(values: Sequence[float]) -> float:

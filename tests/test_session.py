@@ -1,0 +1,268 @@
+"""The unified Session/Sweep API: builders, grids, parallelism, export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.config import baseline_system
+from repro.frameworks.base import build_framework, register_framework
+from repro.memory.link import TrafficType
+from repro.session import (
+    FAST,
+    ExperimentConfig,
+    ResultSet,
+    RunSpec,
+    Session,
+    SessionError,
+    SpecError,
+    Sweep,
+)
+
+#: Two tiny workloads keep these tests quick.
+TINY = ExperimentConfig(
+    draw_scale=0.08, num_frames=2, workloads=("DM3-640", "WE")
+)
+
+
+def tiny_sweep() -> Sweep:
+    return Sweep().preset(TINY).frameworks("baseline", "oo-vr")
+
+
+class TestSessionBuilder:
+    def test_run_matches_direct_framework_call(self):
+        session = Session().preset(TINY).framework("oo-vr").workload("WE")
+        via_session = session.run()
+        direct = build_framework("oo-vr").render_scene(session.scene())
+        assert via_session.single_frame_cycles == direct.single_frame_cycles
+        assert (
+            via_session.traffic.total_bytes == direct.traffic.total_bytes
+        )
+
+    def test_missing_framework_rejected(self):
+        with pytest.raises(SessionError, match="no framework"):
+            Session().workload("WE").spec()
+
+    def test_missing_workload_rejected(self):
+        with pytest.raises(SessionError, match="no workload"):
+            Session().framework("oo-vr").spec()
+
+    def test_unknown_framework_rejected(self):
+        with pytest.raises(SpecError, match="unknown framework"):
+            Session().framework("nope").workload("WE").spec()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SpecError, match="unknown workload"):
+            Session().framework("oo-vr").workload("nope").spec()
+
+    def test_bad_frames_rejected(self):
+        with pytest.raises(SessionError):
+            Session().frames(0)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SessionError):
+            Session().scale(0.0)
+
+    def test_fast_preset_applied(self):
+        spec = Session().framework("oo-vr").workload("WE").fast().spec()
+        assert spec.draw_scale == FAST.draw_scale
+        assert spec.num_frames == FAST.num_frames
+
+    def test_scene_memoised_across_sessions(self):
+        a = Session().preset(TINY).workload("WE").scene()
+        b = Session().preset(TINY).workload("WE").scene()
+        assert a is b
+
+    def test_last_framework_exposed(self):
+        session = Session().preset(TINY).framework("oo-vr").workload("WE")
+        session.run()
+        assert session.last_framework is not None
+        assert session.last_framework.name == "oo-vr"
+
+
+class TestSweepGrid:
+    def test_cartesian_expansion_order(self):
+        specs = (
+            Sweep()
+            .frameworks("baseline", "oo-vr")
+            .workloads("DM3-640", "WE")
+            .specs()
+        )
+        cells = [(s.framework, s.workload) for s in specs]
+        assert cells == [
+            ("baseline", "DM3-640"),
+            ("baseline", "WE"),
+            ("oo-vr", "DM3-640"),
+            ("oo-vr", "WE"),
+        ]
+
+    def test_config_axis_outermost(self):
+        sweep = Sweep().frameworks("baseline").workloads("WE")
+        sweep.config(baseline_system(), label="a")
+        sweep.config(baseline_system(num_gpms=2), label="b")
+        assert [s.config_label for s in sweep.specs()] == ["a", "b"]
+
+    def test_preset_supplies_default_workloads(self):
+        specs = Sweep().preset(TINY).frameworks("baseline").specs()
+        assert [s.workload for s in specs] == list(TINY.workloads)
+
+    def test_empty_frameworks_rejected(self):
+        with pytest.raises(SessionError, match="no frameworks"):
+            Sweep().workloads("WE").specs()
+
+    def test_duplicate_framework_rejected(self):
+        with pytest.raises(SessionError, match="listed twice"):
+            Sweep().frameworks("oo-vr", "oo-vr")
+
+    def test_duplicate_config_label_rejected(self):
+        sweep = Sweep().config(baseline_system(), label="x")
+        with pytest.raises(SessionError, match="listed twice"):
+            sweep.config(baseline_system(num_gpms=2), label="x")
+
+    def test_unknown_name_rejected_at_expansion(self):
+        with pytest.raises(SpecError):
+            Sweep().frameworks("nope").workloads("WE").specs()
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SessionError):
+            tiny_sweep().run(jobs=0)
+
+
+class TestSweepExecution:
+    def test_parallel_equals_serial(self):
+        serial = tiny_sweep().run(jobs=1)
+        parallel = tiny_sweep().run(jobs=2)
+        assert serial.to_records() == parallel.to_records()
+        assert serial.to_csv() == parallel.to_csv()
+
+    def test_by_workload_matches_legacy_suite_shape(self):
+        results = tiny_sweep().run().by_workload(framework="oo-vr")
+        assert list(results) == list(TINY.workloads)
+        direct = build_framework("oo-vr").render_scene(
+            Session().preset(TINY).workload("WE").scene()
+        )
+        assert results["WE"].single_frame_cycles == direct.single_frame_cycles
+
+    def test_select_and_get(self):
+        results = tiny_sweep().run()
+        subset = results.select(framework="baseline")
+        assert len(subset) == 2
+        one = results.get(framework="oo-vr", workload="WE")
+        assert one.framework == "oo-vr"
+        with pytest.raises(KeyError):
+            results.get(framework="oo-vr")  # two workloads match
+
+
+class TestResultSetMath:
+    def test_normalize_to_speedups(self):
+        results = tiny_sweep().run()
+        speedups = results.normalize_to(
+            "baseline", "single_frame_cycles", invert=True
+        )
+        assert set(speedups) == {"baseline", "oo-vr"}
+        assert all(
+            value == pytest.approx(1.0)
+            for value in speedups["baseline"].values()
+        )
+        assert all(value > 1.0 for value in speedups["oo-vr"].values())
+
+    def test_normalize_to_missing_baseline(self):
+        with pytest.raises(KeyError):
+            tiny_sweep().run().normalize_to("nope", "single_frame_cycles")
+
+    def test_geomean_by_tuple_key(self):
+        means = tiny_sweep().run().geomean_by(
+            "single_frame_cycles", by=("framework", "config_label")
+        )
+        assert ("oo-vr", "base") in means
+        assert all(value > 0 for value in means.values())
+
+    def test_pivot_shape(self):
+        table = tiny_sweep().run().pivot("throughput_fps")
+        assert list(table["baseline"]) == list(TINY.workloads)
+
+
+class TestResultSetExport:
+    def test_records_share_scene_to_dict_path(self):
+        results = tiny_sweep().run()
+        record = results.to_records()[0]
+        spec, scene = next(iter(results))
+        summary = scene.to_dict(include_frames=False)
+        assert record["single_frame_cycles"] == summary["single_frame_cycles"]
+        assert record["framework"] == spec.framework
+        assert record["traffic_texture"] == summary["traffic"].get(
+            "texture", 0.0
+        )
+
+    def test_json_round_trip(self, tmp_path):
+        results = tiny_sweep().run()
+        path = tmp_path / "out.json"
+        text = results.to_json(str(path))
+        assert json.loads(text) == results.to_records()
+        assert json.loads(path.read_text()) == results.to_records()
+
+    def test_csv_round_trip(self, tmp_path):
+        results = tiny_sweep().run()
+        path = tmp_path / "out.csv"
+        text = results.to_csv(str(path))
+        assert path.read_text() == text
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        records = results.to_records()
+        assert len(parsed) == len(records)
+        for row, record in zip(parsed, records):
+            assert row["framework"] == record["framework"]
+            assert float(row["single_frame_cycles"]) == pytest.approx(
+                record["single_frame_cycles"]
+            )
+            assert int(row["num_frames"]) == record["num_frames"]
+
+    def test_empty_resultset_exports(self):
+        empty = ResultSet([])
+        assert empty.to_records() == []
+        assert empty.to_csv() == ""
+
+
+class TestSerialization:
+    def test_frame_to_dict(self):
+        result = Session().preset(TINY).framework("oo-vr").workload("WE").run()
+        frame = result.frames[0].to_dict()
+        assert frame["cycles"] == result.frames[0].cycles
+        assert set(frame["traffic"]) <= {t.value for t in TrafficType}
+        assert frame["load_balance_ratio"] >= 1.0
+
+    def test_scene_to_dict_frames_toggle(self):
+        result = Session().preset(TINY).framework("oo-vr").workload("WE").run()
+        full = result.to_dict()
+        assert len(full["frames"]) == TINY.num_frames
+        summary = result.to_dict(include_frames=False)
+        assert "frames" not in summary
+        assert summary["num_frames"] == TINY.num_frames
+
+
+class TestRegistry:
+    def test_duplicate_registration_rejected(self):
+        from repro.frameworks.single import SingleKernelBaseline
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_framework("baseline")(type("Fake", (), {}))
+        # Re-decorating the registered class itself stays idempotent.
+        register_framework("baseline")(SingleKernelBaseline)
+        assert build_framework("baseline").name == "baseline"
+
+
+class TestRunSpec:
+    def test_spec_is_picklable(self):
+        import pickle
+
+        spec = RunSpec(
+            framework="oo-vr", workload="WE", config=baseline_system()
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+    def test_validate_rejects_bad_fields(self):
+        with pytest.raises(SpecError):
+            RunSpec(framework="oo-vr", workload="WE", num_frames=0).validate()
+        with pytest.raises(SpecError):
+            RunSpec(framework="oo-vr", workload="WE", draw_scale=-1).validate()
