@@ -10,7 +10,7 @@ Two reports:
   cost is negligible next to the link energy it removes.
 """
 
-from benchmarks.conftest import BENCH, record_output
+from benchmarks.conftest import BENCH, BENCH_CACHE, record_output
 from repro.energy import (
     EnergyConstants,
     EnergyModel,
@@ -24,8 +24,11 @@ SCHEMES = ("baseline", "object", "oo-vr")
 
 
 def run_energy():
-    link_figure = energy_report(BENCH)
-    suites = {name: run_framework_suite(name, BENCH) for name in SCHEMES}
+    link_figure = energy_report(BENCH, cache=BENCH_CACHE)
+    suites = {
+        name: run_framework_suite(name, BENCH, cache=BENCH_CACHE)
+        for name in SCHEMES
+    }
     board = compare_frameworks(
         suites, EnergyModel(EnergyConstants.for_integration(IntegrationPoint.ON_BOARD))
     )

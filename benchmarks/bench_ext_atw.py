@@ -8,11 +8,14 @@ measured latency is first scaled by the panel-to-workload pixel ratio —
 schemes separate: the baseline misses nearly every vsync, OO-VR meets
 several times more of them, and AFR's high throughput cannot rescue its
 single-frame latency (the paper's judder argument, measured).
+
+The study is one declarative (scheme x workload) Sweep
+(:func:`repro.extensions.atw.atw_study`) memoised through the shared
+bench cache.
 """
 
-from benchmarks.conftest import BENCH, record_output
-from repro.extensions.atw import ATWConfig, simulate_atw
-from repro.experiments.runner import run_framework_suite, scene_for
+from benchmarks.conftest import BENCH, BENCH_CACHE, record_output
+from repro.extensions.atw import ATWConfig, atw_study
 from repro.stats.metrics import geomean
 
 SCHEMES = ("baseline", "object", "afr", "oo-vr")
@@ -22,18 +25,16 @@ ATW = ATWConfig(refresh_hz=90.0, eye_width=1280, eye_height=1024)
 
 
 def run_atw():
+    reports_by_scheme = atw_study(
+        SCHEMES,
+        BENCH,
+        atw=ATW,
+        panel_pixels=VR_PANEL_PIXELS,
+        cache=BENCH_CACHE,
+    )
     rows = []
     fresh_rates = {}
-    for scheme in SCHEMES:
-        results = run_framework_suite(scheme, BENCH)
-        reports = []
-        for workload, result in results.items():
-            frame_pixels = scene_for(workload, BENCH).frames[0].total_pixels
-            scale = VR_PANEL_PIXELS / frame_pixels
-            latencies = [f.cycles * scale for f in result.steady_frames]
-            reports.append(
-                simulate_atw(latencies, scheme, workload, atw=ATW)
-            )
+    for scheme, reports in reports_by_scheme.items():
         fresh = geomean([max(r.fresh_rate, 1e-6) for r in reports])
         worst = max(r.worst_lag_vsyncs for r in reports)
         latency = geomean([r.mean_latency_ms for r in reports])

@@ -5,29 +5,30 @@ inter-GPM traffic by locality.  The two are orthogonal, so their
 speedups should (approximately) compose — this bench measures the
 stack on the pixel-heavy workloads where foveation has the most to
 save.
+
+The study is one declarative Sweep over three design points —
+``baseline``, ``oo-vr``, and the ``oo-vr:fov`` framework variant
+(:func:`repro.extensions.foveated.foveation_study`) — memoised through
+the shared bench cache.
 """
 
-from benchmarks.conftest import BENCH, record_output
-from repro.extensions.foveated import FoveationConfig, foveate_scene
-from repro.experiments.runner import scene_for
-from repro.frameworks.base import build_framework
+from benchmarks.conftest import BENCH, BENCH_CACHE, record_output
+from repro.extensions.foveated import FoveationConfig, foveation_study
 from repro.stats.metrics import geomean
 
 WORKLOADS = ("DM3-1600", "HL2-1600", "NFS")
-PROFILE = FoveationConfig()
 
 
 def run_foveated():
+    table = foveation_study(WORKLOADS, BENCH, cache=BENCH_CACHE)
+    # The "oo-vr:fov" variant renders with the default three-ring
+    # profile; report exactly those parameters.
+    profile = FoveationConfig()
     rows = []
     stacked_gains = []
-    for workload in WORKLOADS:
-        scene = scene_for(workload, BENCH)
-        foveated = foveate_scene(scene, PROFILE)
-        base = build_framework("baseline").render_scene(scene)
-        oovr = build_framework("oo-vr").render_scene(scene)
-        oovr_fov = build_framework("oo-vr").render_scene(foveated)
-        s_oovr = base.single_frame_cycles / oovr.single_frame_cycles
-        s_stack = base.single_frame_cycles / oovr_fov.single_frame_cycles
+    for workload, speedups in table.items():
+        s_oovr = speedups["oo-vr"]
+        s_stack = speedups["oo-vr+fov"]
         stacked_gains.append(s_stack / s_oovr)
         rows.append(
             f"{workload:<10}{s_oovr:>12.2f}{s_stack:>14.2f}"
@@ -38,9 +39,9 @@ def run_foveated():
         [
             "Extension E5: foveated rendering stacked on OO-VR "
             "(speedup over baseline)",
-            f"profile: fovea r={PROFILE.fovea_radius} rate={PROFILE.fovea_rate}, "
-            f"mid r={PROFILE.mid_radius} rate={PROFILE.mid_rate}, "
-            f"periphery rate={PROFILE.periphery_rate}",
+            f"profile: fovea r={profile.fovea_radius} rate={profile.fovea_rate}, "
+            f"mid r={profile.mid_radius} rate={profile.mid_rate}, "
+            f"periphery rate={profile.periphery_rate}",
             f"{'workload':<10}{'oo-vr':>12}{'oo-vr+fov':>14}{'fov gain':>14}",
             *rows,
             f"geomean foveation gain on top of OO-VR: {gain:.2f}x",

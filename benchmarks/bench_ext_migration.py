@@ -7,31 +7,25 @@ runs the baseline with a hot-page migration engine attached and
 compares latency *and* traffic against plain baseline and OO-VR: the
 measured argument is that migration recovers some latency but pays for
 it in copy traffic, while OO-VR improves both at once.
+
+The study is one declarative (scheme x workload) Sweep
+(:func:`repro.extensions.migration.migration_study`) memoised through
+the shared bench cache.
 """
 
-from benchmarks.conftest import BENCH, record_output
-from repro.experiments.runner import (
-    run_framework_suite,
-    single_frame_speedups,
-    traffic_ratios,
-)
-from repro.stats.metrics import geomean
+from benchmarks.conftest import BENCH, BENCH_CACHE, record_output
+from repro.extensions.migration import migration_study
 
 SCHEMES = ("baseline", "baseline-mig", "oo-vr")
 
 
 def run_migration():
-    suites = {name: run_framework_suite(name, BENCH) for name in SCHEMES}
-    base = suites["baseline"]
+    summary = migration_study(SCHEMES, BENCH, cache=BENCH_CACHE)
     lines = [
         "Extension E6: reactive migration vs proactive pre-allocation",
         f"{'scheme':<14}{'speedup':>10}{'traffic vs baseline':>22}",
     ]
-    summary = {}
-    for scheme in SCHEMES:
-        speedup = geomean(list(single_frame_speedups(suites[scheme], base).values()))
-        traffic = geomean(list(traffic_ratios(suites[scheme], base).values()))
-        summary[scheme] = (speedup, traffic)
+    for scheme, (speedup, traffic) in summary.items():
         lines.append(f"{scheme:<14}{speedup:>10.2f}{traffic:>22.2f}")
     return "\n".join(lines), summary
 

@@ -13,7 +13,14 @@ values, not the wall-clock, but the timing documents simulation cost.
 
 The harness rides on the Session/Sweep API: ``BENCH`` is the standard
 :data:`repro.session.FULL` preset, the same grids ``oovr fig`` and
-``oovr sweep`` execute.
+``oovr sweep`` execute.  The extension/ablation studies additionally
+share :data:`BENCH_CACHE`, a :class:`repro.session.ResultCache` under
+``benchmarks/output/cache``: cells common to several studies (the
+baseline suite above all) execute once per bench session instead of
+once per study, and a re-run regenerates figures from disk.  Note the
+cache keys on the *spec*, not the simulator code — clear it
+(``oovr cache clear benchmarks/output/cache``) after changing the
+model to re-measure.
 """
 
 from __future__ import annotations
@@ -22,12 +29,15 @@ import pathlib
 
 import pytest
 
-from repro.session import FULL
+from repro.session import FULL, ResultCache
 
 #: Full-scale experiment preset used by every bench.
 BENCH = FULL
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: RunSpec-keyed result store shared by the extension/ablation benches.
+BENCH_CACHE = ResultCache(OUTPUT_DIR / "cache")
 
 
 def record_output(name: str, text: str) -> None:

@@ -32,8 +32,10 @@ Quickstart — every experiment is a :class:`Session` (one run) or a
 :class:`ResultSet` (what ``Sweep.run`` returns) exports ``to_json()`` /
 ``to_csv()`` and computes paper-style series: ``pivot``, ``geomean_by``,
 and ``normalize_to`` (speedups and traffic ratios against a baseline
-column).  The same grids drive ``oovr fig``, ``oovr sweep --jobs N``,
-and the benchmark harness.
+column).  ``Sweep.run(cache=ResultCache("dir"))`` memoises executed
+cells on disk keyed by the spec's content hash, so repeated grids skip
+already-measured cells byte-identically.  The same grids drive ``oovr
+fig``, ``oovr sweep --jobs N --cache DIR``, and the benchmark harness.
 """
 
 from repro.config import (
@@ -66,6 +68,7 @@ from repro.session import (
     FAST,
     FULL,
     ExperimentConfig,
+    ResultCache,
     ResultSet,
     RunSpec,
     Session,
@@ -100,6 +103,7 @@ __all__ = [
     "FAST",
     "FULL",
     "ExperimentConfig",
+    "ResultCache",
     "ResultSet",
     "RunSpec",
     "Session",

@@ -11,6 +11,9 @@ Every experiment command is a thin wrapper over the Session/Sweep API
     oovr run oo-vr HL2-1280 --json    # ... as a JSON document
     oovr sweep --frameworks oo-vr,afr --workloads HL2-1280,WE \\
         --fast --jobs 4 --csv out.csv # grid -> tidy CSV records
+    oovr sweep --fast --cache .oovr-cache  # memoise cells on disk
+    oovr cache info .oovr-cache  # entry count and footprint
+    oovr cache clear .oovr-cache # drop every cached result
     oovr list                   # list frameworks and workloads
     oovr trace record WE we.json.gz   # capture a workload as a trace
     oovr trace info we.json.gz        # profile a captured trace
@@ -27,7 +30,15 @@ from typing import Optional, Sequence
 from repro.experiments import figures, tables
 from repro.frameworks.base import build_framework, framework_names
 from repro.scene.benchmarks import WORKLOADS
-from repro.session import FAST, FULL, Session, SessionError, SpecError, Sweep
+from repro.session import (
+    FAST,
+    FULL,
+    ResultCache,
+    Session,
+    SessionError,
+    SpecError,
+    Sweep,
+)
 from repro.trace import load_scene, profile_scene, save_scene
 
 
@@ -131,7 +142,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sweep.frames(args.frames)
     if args.seed is not None:
         sweep.seed(args.seed)
-    results = sweep.run(jobs=args.jobs)
+    cache = ResultCache(args.cache) if args.cache else None
+    results = sweep.run(jobs=args.jobs, cache=cache)
 
     from repro.stats.reporting import format_table
 
@@ -155,12 +167,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title=f"sweep: {len(results)} runs ({args.jobs} jobs)",
         )
     )
+    if cache is not None:
+        print(f"cache: {cache.stats.summary()} -> {args.cache}")
     if args.csv:
         results.to_csv(args.csv)
         print(f"wrote {args.csv}")
     if args.json:
         results.to_json(args.json)
         print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import os
+
+    if not os.path.isdir(args.dir):
+        # Inspection/maintenance must not create the directory a typo
+        # names (ResultCache.__init__ would mkdir it).
+        print(f"error: no cache directory at {args.dir}", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.dir)
+    if args.cache_command == "info":
+        info = cache.info()
+        print(f"cache at {info['root']}:")
+        print(f"  entries     : {info['entries']}")
+        print(f"  total bytes : {info['total_bytes']}")
+        return 0
+    removed = cache.clear()
+    print(f"cleared {removed} cached result(s) from {args.dir}")
     return 0
 
 
@@ -343,7 +377,21 @@ def make_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--csv", metavar="PATH", help="write records as CSV")
     sweep.add_argument("--json", metavar="PATH", help="write records as JSON")
+    sweep.add_argument(
+        "--cache", metavar="DIR",
+        help="memoise results on disk, keyed by RunSpec; repeated grids "
+        "skip already-executed cells",
+    )
     sweep.set_defaults(func=_cmd_sweep)
+
+    cache = sub.add_parser("cache", help="inspect/clear a result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_info = cache_sub.add_parser("info", help="entry count and bytes")
+    cache_info.add_argument("dir", help="cache directory")
+    cache_info.set_defaults(func=_cmd_cache)
+    cache_clear = cache_sub.add_parser("clear", help="drop every entry")
+    cache_clear.add_argument("dir", help="cache directory")
+    cache_clear.set_defaults(func=_cmd_cache)
 
     trace = sub.add_parser("trace", help="capture/inspect/replay traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)

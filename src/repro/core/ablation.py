@@ -128,22 +128,26 @@ class AblatedOOVR(RenderingFramework):
         return system.frame_result(self.name, workload)
 
 
+#: The named ablation points, keyed the way the variant grammar spells
+#: them (``oo-vr:no-dhc`` etc. — see :mod:`repro.frameworks.variants`).
+ABLATION_VARIANTS: Dict[str, OOVRFeatures] = {
+    "full": OOVRFeatures(),
+    "no-prediction": OOVRFeatures(prediction=False),
+    "no-preallocation": OOVRFeatures(preallocation=False),
+    "no-dhc": OOVRFeatures(distributed_composition=False),
+    "no-stealing": OOVRFeatures(stealing=False),
+    "software-only": OOVRFeatures(
+        prediction=False,
+        preallocation=False,
+        distributed_composition=False,
+        stealing=False,
+    ),
+}
+
+
 def ablation_suite(config: Optional[SystemConfig] = None) -> Dict[str, AblatedOOVR]:
     """Full OO-VR plus one framework per disabled component."""
-    variants = {
-        "full": OOVRFeatures(),
-        "no-prediction": OOVRFeatures(prediction=False),
-        "no-preallocation": OOVRFeatures(preallocation=False),
-        "no-dhc": OOVRFeatures(distributed_composition=False),
-        "no-stealing": OOVRFeatures(stealing=False),
-        "software-only": OOVRFeatures(
-            prediction=False,
-            preallocation=False,
-            distributed_composition=False,
-            stealing=False,
-        ),
-    }
     return {
         key: AblatedOOVR(config, features)
-        for key, features in variants.items()
+        for key, features in ABLATION_VARIANTS.items()
     }

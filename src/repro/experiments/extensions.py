@@ -6,42 +6,58 @@
   threshold and triangle cap (Section 5.1's fixed 0.5 / 4096 choices);
 - :func:`energy_report` — link-traffic energy at the paper's quoted
   pJ/bit figures (Section 6.2's energy-saving argument).
+
+Each experiment is one declarative :class:`~repro.session.Sweep` grid —
+the ablated and parameter-shifted design points are spelled as
+framework variants (:mod:`repro.frameworks.variants`), so every cell
+is an ordinary :class:`~repro.session.spec.RunSpec` that fans out over
+worker processes (``jobs``) and memoises through a
+:class:`~repro.session.ResultCache` (``cache``) like any paper figure.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping
+from typing import Dict, Mapping, Optional
 
-from repro.config import baseline_system
-from repro.core.ablation import ablation_suite
-from repro.core.middleware import OOMiddleware
-from repro.core.oovr import OOVRFramework
+from repro.core.ablation import ABLATION_VARIANTS
 from repro.experiments.figures import FigureResult
 from repro.experiments.runner import (
     FULL,
     ExperimentConfig,
-    run_framework_suite,
-    scene_for,
     single_frame_speedups,
     with_average,
 )
-from repro.stats.metrics import geomean
+from repro.session import Sweep
+from repro.session.cache import ResultCache
+
+#: The middleware operating points swept by :func:`batching_sensitivity`
+#: (the paper fixes TSL > 0.5 and a 4096-triangle cap).
+BATCHING_TSL_THRESHOLDS = (0.1, 0.3, 0.5, 0.7, 0.9)
+BATCHING_TRIANGLE_CAPS = (1024, 2048, 4096, 8192, 16384)
 
 
-def oovr_ablation(experiment: ExperimentConfig = FULL) -> FigureResult:
+def oovr_ablation(
+    experiment: ExperimentConfig = FULL,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> FigureResult:
     """Speedup over baseline with each OO-VR mechanism disabled."""
-    baseline = run_framework_suite("baseline", experiment)
-    series: Dict[str, Mapping[str, float]] = {}
-    for key, framework_proto in ablation_suite().items():
-        results = {}
-        for workload in experiment.workloads:
-            framework = type(framework_proto)(
-                framework_proto.config, framework_proto.features
+    variants = list(ABLATION_VARIANTS)
+    results = (
+        Sweep()
+        .preset(experiment)
+        .frameworks("baseline", *(f"oo-vr:{key}" for key in variants))
+        .run(jobs=jobs, cache=cache)
+    )
+    baseline = results.by_workload(framework="baseline")
+    series: Dict[str, Mapping[str, float]] = {
+        key: with_average(
+            single_frame_speedups(
+                results.by_workload(framework=f"oo-vr:{key}"), baseline
             )
-            results[workload] = framework.render_scene(
-                scene_for(workload, experiment)
-            )
-        series[key] = with_average(single_frame_speedups(results, baseline))
+        )
+        for key in variants
+    }
     return FigureResult(
         figure="Ablation A1",
         title="OO-VR speedup over baseline with components disabled",
@@ -53,6 +69,8 @@ def oovr_ablation(experiment: ExperimentConfig = FULL) -> FigureResult:
 def batching_sensitivity(
     experiment: ExperimentConfig = FULL,
     workload: str = "HL2-1280",
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> FigureResult:
     """Middleware parameter sweep: TSL threshold and triangle cap.
 
@@ -61,50 +79,40 @@ def batching_sensitivity(
     overhead, less locality), larger caps recreate object-SFR's
     stragglers.
     """
-    scene = scene_for(workload, experiment)
-    base = run_framework_suite(
-        "baseline",
-        ExperimentConfig(
-            draw_scale=experiment.draw_scale,
-            num_frames=experiment.num_frames,
-            seed=experiment.seed,
-            workloads=(workload,),
-        ),
-    )[workload]
-
-    thresholds = (0.1, 0.3, 0.5, 0.7, 0.9)
-    caps = (1024, 2048, 4096, 8192, 16384)
-
-    threshold_series: Dict[str, float] = {}
-    for threshold in thresholds:
-        framework = OOVRFramework()
-        framework._builder._middleware = OOMiddleware(tsl_threshold=threshold)
-        result = framework.render_scene(scene)
-        threshold_series[f"tsl>{threshold}"] = (
-            base.single_frame_cycles / result.single_frame_cycles
-        )
-
-    cap_series: Dict[str, float] = {}
-    for cap in caps:
-        framework = OOVRFramework()
-        framework._builder._middleware = OOMiddleware(triangle_limit=cap)
-        result = framework.render_scene(scene)
-        cap_series[f"cap={cap}"] = (
-            base.single_frame_cycles / result.single_frame_cycles
-        )
-
-    rows = [*threshold_series.keys(), *cap_series.keys()]
-    merged = {**threshold_series, **cap_series}
+    points = {
+        f"tsl>{threshold}": f"oo-vr:tsl={threshold}"
+        for threshold in BATCHING_TSL_THRESHOLDS
+    }
+    points.update(
+        {f"cap={cap}": f"oo-vr:cap={cap}" for cap in BATCHING_TRIANGLE_CAPS}
+    )
+    results = (
+        Sweep()
+        .preset(experiment)
+        .workloads(workload)
+        .frameworks("baseline", *points.values())
+        .run(jobs=jobs, cache=cache)
+    )
+    base = results.get(framework="baseline")
+    series = {
+        label: base.single_frame_cycles
+        / results.get(framework=name).single_frame_cycles
+        for label, name in points.items()
+    }
     return FigureResult(
         figure="Ablation A2",
         title=f"OO-VR speedup vs. middleware parameters on {workload} "
         "(paper uses TSL>0.5, cap=4096)",
-        series={"speedup": merged},
-        row_order=rows,
+        series={"speedup": series},
+        row_order=list(series),
     )
 
 
-def energy_report(experiment: ExperimentConfig = FULL) -> FigureResult:
+def energy_report(
+    experiment: ExperimentConfig = FULL,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> FigureResult:
     """Per-frame link energy under the paper's integration assumptions.
 
     Section 6.2: inter-GPM transfers cost ~10 pJ/bit on-board (250
@@ -112,16 +120,20 @@ def energy_report(experiment: ExperimentConfig = FULL) -> FigureResult:
     saving.  Reports millijoules per frame for the three Fig. 16
     schemes at both integration points.
     """
-    config = baseline_system()
     schemes = ("baseline", "object", "oo-vr")
+    results = (
+        Sweep()
+        .preset(experiment)
+        .frameworks(*schemes)
+        .run(jobs=jobs, cache=cache)
+    )
+    bytes_per_frame = results.geomean_by(
+        "mean_inter_gpm_bytes_per_frame", by="framework"
+    )
     on_board: Dict[str, float] = {}
     off_board: Dict[str, float] = {}
     for scheme in schemes:
-        results = run_framework_suite(scheme, experiment)
-        bytes_per_frame = geomean(
-            [r.mean_inter_gpm_bytes_per_frame for r in results.values()]
-        )
-        bits = bytes_per_frame * 8.0
+        bits = bytes_per_frame[scheme] * 8.0
         on_board[scheme] = bits * 10.0 * 1e-9  # pJ -> mJ
         off_board[scheme] = bits * 250.0 * 1e-9
     return FigureResult(

@@ -43,12 +43,17 @@ def run_framework_suite(
     experiment: ExperimentConfig = FULL,
     config: Optional[SystemConfig] = None,
     jobs: int = 1,
+    cache=None,
 ) -> Dict[str, SceneResult]:
-    """Run one framework over every workload of the experiment."""
+    """Run one framework over every workload of the experiment.
+
+    ``cache`` is an optional :class:`~repro.session.ResultCache` (or
+    directory path) memoising the suite's cells across calls.
+    """
     sweep = Sweep().preset(experiment).frameworks(framework_name)
     if config is not None:
         sweep.config(config)
-    return sweep.run(jobs=jobs).by_workload()
+    return sweep.run(jobs=jobs, cache=cache).by_workload()
 
 
 def single_frame_speedups(

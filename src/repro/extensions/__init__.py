@@ -19,12 +19,29 @@ conclusion invites, each on top of the same simulator:
 - :mod:`repro.extensions.hbm` — local-bandwidth scaling (HBM
   generations), quantifying Section 6.3's claim that faster local
   memory widens OO-VR's advantage.
+
+Each study's driver (:func:`atw_study`, :func:`foveation_study`,
+:func:`topology_sweep`, :func:`migration_study`,
+:func:`local_bandwidth_sweep`) is a declarative
+:class:`~repro.session.Sweep` grid — parameterised design points are
+framework variants (:mod:`repro.frameworks.variants`) — so every study
+takes ``jobs`` (process fan-out) and ``cache`` (a
+:class:`~repro.session.ResultCache` memoising repeated cells).
 """
 
-from repro.extensions.atw import ATWConfig, ATWReport, simulate_atw
-from repro.extensions.foveated import FoveationConfig, foveate_frame, foveate_scene
+from repro.extensions.atw import ATWConfig, ATWReport, atw_study, simulate_atw
+from repro.extensions.foveated import (
+    FoveationConfig,
+    foveate_frame,
+    foveate_scene,
+    foveation_study,
+)
 from repro.extensions.hbm import HBM_GENERATIONS, local_bandwidth_sweep
-from repro.extensions.migration import MigrationConfig, MigrationEngine
+from repro.extensions.migration import (
+    MigrationConfig,
+    MigrationEngine,
+    migration_study,
+)
 from repro.extensions.topology import (
     RoutedLinkFabric,
     Topology,
@@ -41,10 +58,13 @@ __all__ = [
     "MigrationEngine",
     "RoutedLinkFabric",
     "Topology",
+    "atw_study",
     "foveate_frame",
     "foveate_scene",
+    "foveation_study",
     "install_topology",
     "local_bandwidth_sweep",
+    "migration_study",
     "simulate_atw",
     "topology_sweep",
 ]

@@ -28,12 +28,12 @@ needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import SystemConfig, baseline_system
 from repro.stats.metrics import SceneResult
 
-__all__ = ["ATWConfig", "ATWReport", "simulate_atw"]
+__all__ = ["ATWConfig", "ATWReport", "atw_study", "simulate_atw"]
 
 
 @dataclass(frozen=True)
@@ -191,3 +191,57 @@ def atw_for_scene(
         atw=atw,
         system=system,
     )
+
+
+def atw_study(
+    schemes: Sequence[str] = ("baseline", "object", "afr", "oo-vr"),
+    experiment=None,
+    atw: ATWConfig | None = None,
+    system: SystemConfig | None = None,
+    panel_pixels: Optional[float] = None,
+    jobs: int = 1,
+    cache=None,
+) -> Dict[str, List[ATWReport]]:
+    """Pace every scheme's workload suite through the compositor.
+
+    One declarative (scheme x workload) :class:`~repro.session.Sweep`
+    (``experiment`` preset, default :data:`~repro.session.FULL`) whose
+    cells fan out over ``jobs`` processes and memoise through
+    ``cache``; each result's steady-frame latencies then run through
+    :func:`simulate_atw`.  With ``panel_pixels`` set (e.g. Table 1's
+    116.64 Mpixel stereo panel), each latency is first scaled by the
+    panel-to-workload pixel ratio — "this workload's engine, at VR
+    panel resolution".
+
+    Returns ``{scheme: [ATWReport per workload, in suite order]}``.
+    """
+    from repro.session import FULL, Sweep
+
+    experiment = experiment or FULL
+    results = (
+        Sweep()
+        .preset(experiment)
+        .frameworks(*schemes)
+        .run(jobs=jobs, cache=cache)
+    )
+    out: Dict[str, List[ATWReport]] = {}
+    for scheme in schemes:
+        reports: List[ATWReport] = []
+        for spec, result in results.select(framework=scheme):
+            scale = 1.0
+            if panel_pixels is not None:
+                scale = panel_pixels / spec.scene().frames[0].total_pixels
+            latencies = [
+                frame.cycles * scale for frame in result.steady_frames
+            ]
+            reports.append(
+                simulate_atw(
+                    latencies,
+                    framework=scheme,
+                    workload=spec.workload,
+                    atw=atw,
+                    system=system,
+                )
+            )
+        out[scheme] = reports
+    return out

@@ -25,7 +25,12 @@ from repro.scene.geometry import Viewport
 from repro.scene.objects import RenderObject
 from repro.scene.scene import Frame, Scene
 
-__all__ = ["FoveationConfig", "foveate_frame", "foveate_scene"]
+__all__ = [
+    "FoveationConfig",
+    "foveate_frame",
+    "foveate_scene",
+    "foveation_study",
+]
 
 
 @dataclass(frozen=True)
@@ -127,3 +132,42 @@ def foveate_scene(scene: Scene, config: FoveationConfig | None = None) -> Scene:
         name=scene.name,
         frames=tuple(foveate_frame(frame, config) for frame in scene),
     )
+
+
+def foveation_study(
+    workloads=("DM3-1600", "HL2-1600", "NFS"),
+    experiment=None,
+    jobs: int = 1,
+    cache=None,
+):
+    """Foveation stacked on OO-VR: speedup over baseline per workload.
+
+    One declarative :class:`~repro.session.Sweep` over three design
+    points — ``baseline``, ``oo-vr``, and the ``oo-vr:fov`` variant
+    (OO-VR fed foveated scenes, default three-ring profile; see
+    :mod:`repro.frameworks.variants`) — on the pixel-heavy workloads
+    where foveation has the most to save.
+
+    Returns ``{workload: {"oo-vr": speedup, "oo-vr+fov": speedup}}``.
+    """
+    from repro.session import FULL, Sweep
+
+    experiment = experiment or FULL
+    results = (
+        Sweep()
+        .preset(experiment)
+        .workloads(*workloads)
+        .frameworks("baseline", "oo-vr", "oo-vr:fov")
+        .run(jobs=jobs, cache=cache)
+    )
+    table = {}
+    for workload in workloads:
+        base = results.get(framework="baseline", workload=workload)
+        oovr = results.get(framework="oo-vr", workload=workload)
+        stacked = results.get(framework="oo-vr:fov", workload=workload)
+        table[workload] = {
+            "oo-vr": base.single_frame_cycles / oovr.single_frame_cycles,
+            "oo-vr+fov": base.single_frame_cycles
+            / stacked.single_frame_cycles,
+        }
+    return table

@@ -49,36 +49,80 @@ def local_bandwidth_sweep(
     workloads: Sequence[str] = ("DM3-1280", "HL2-1280", "WE"),
     draw_scale: float = 1.0,
     num_frames: int = 2,
+    jobs: int = 1,
+    cache=None,
 ) -> Dict[str, Dict[str, float]]:
     """Speedup over (baseline, 1 TB/s) per (generation, scheme) cell.
 
     Returns ``{generation: {scheme: speedup}}``, geomean over
     workloads.  The link stays at the Table 2 value throughout: the
     sweep isolates the bandwidth *asymmetry*, not raw bandwidth.
+
+    The generations are the :class:`~repro.session.Sweep`'s config
+    axis, so the whole study is one declarative grid (fanned out over
+    ``jobs`` processes, memoised through ``cache``).  The reference
+    cell is the generation running the paper's 1 TB/s local DRAM; when
+    ``generations`` omits that point, an internal reference column is
+    added.
     """
-    from repro.experiments.runner import ExperimentConfig, scene_for
-    from repro.frameworks.base import build_framework
+    from repro.session import Sweep
     from repro.stats.metrics import geomean
 
-    experiment = ExperimentConfig(
-        draw_scale=draw_scale, num_frames=num_frames, workloads=tuple(workloads)
+    reference_bandwidth = baseline_system().gpm.dram_bytes_per_cycle
+    reference_label = next(
+        (
+            label
+            for label, gbps in generations.items()
+            if float(gbps) == reference_bandwidth
+        ),
+        None,
     )
-
-    def run(scheme: str, config: SystemConfig) -> Dict[str, float]:
-        out: Dict[str, float] = {}
-        for workload in workloads:
-            framework = build_framework(scheme, config)
-            result = framework.render_scene(scene_for(workload, experiment))
-            out[workload] = result.single_frame_cycles
-        return out
-
-    reference = run("baseline", baseline_system())
-    table: Dict[str, Dict[str, float]] = {}
+    sweep = (
+        Sweep()
+        .workloads(*workloads)
+        .frames(num_frames)
+        .scale(draw_scale)
+        .frameworks(*schemes)
+    )
     for label, gbps in generations.items():
-        config = with_local_bandwidth(baseline_system(), float(gbps))
+        sweep.config(
+            with_local_bandwidth(baseline_system(), float(gbps)), label=label
+        )
+    results = sweep.run(jobs=jobs, cache=cache)
+
+    def cycles(scheme: str, label: str) -> Dict[str, float]:
+        return {
+            workload: results.get(
+                framework=scheme, config_label=label, workload=workload
+            ).single_frame_cycles
+            for workload in workloads
+        }
+
+    if "baseline" in schemes and reference_label is not None:
+        reference = cycles("baseline", reference_label)
+    else:
+        # The main grid lacks (baseline, 1 TB/s); run just those
+        # reference cells instead of widening the cartesian product.
+        ref_results = (
+            Sweep()
+            .workloads(*workloads)
+            .frames(num_frames)
+            .scale(draw_scale)
+            .frameworks("baseline")
+            .config(baseline_system(), label="reference (1 TB/s)")
+            .run(jobs=jobs, cache=cache)
+        )
+        reference = {
+            workload: ref_results.get(
+                workload=workload
+            ).single_frame_cycles
+            for workload in workloads
+        }
+    table: Dict[str, Dict[str, float]] = {}
+    for label in generations:
         row: Dict[str, float] = {}
         for scheme in schemes:
-            cycles = run(scheme, config)
-            row[scheme] = geomean([reference[w] / cycles[w] for w in workloads])
+            mine = cycles(scheme, label)
+            row[scheme] = geomean([reference[w] / mine[w] for w in workloads])
         table[label] = row
     return table

@@ -25,12 +25,12 @@ sharing pattern TSL batching removes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.memory.address import Resource
 from repro.memory.link import TrafficType
 
-__all__ = ["MigrationConfig", "MigrationEngine"]
+__all__ = ["MigrationConfig", "MigrationEngine", "migration_study"]
 
 
 @dataclass(frozen=True)
@@ -177,3 +177,44 @@ def _register_migration_framework() -> None:
 
 
 _register_migration_framework()
+
+
+def migration_study(
+    schemes: Sequence[str] = ("baseline", "baseline-mig", "oo-vr"),
+    experiment=None,
+    jobs: int = 1,
+    cache=None,
+) -> Dict[str, Tuple[float, float]]:
+    """Reactive migration vs proactive pre-allocation, per scheme.
+
+    One declarative (scheme x workload) :class:`~repro.session.Sweep`
+    (``experiment`` preset, default :data:`~repro.session.FULL`) over
+    the ``baseline-mig`` framework and its comparands.  Returns
+    ``{scheme: (speedup, traffic_ratio)}`` — geomean over workloads,
+    both relative to the plain baseline.
+    """
+    from repro.experiments.runner import (
+        single_frame_speedups,
+        traffic_ratios,
+    )
+    from repro.session import FULL, Sweep
+    from repro.stats.metrics import geomean
+
+    experiment = experiment or FULL
+    frameworks = list(schemes)
+    if "baseline" not in frameworks:  # the normalisation reference
+        frameworks.append("baseline")
+    results = (
+        Sweep()
+        .preset(experiment)
+        .frameworks(*frameworks)
+        .run(jobs=jobs, cache=cache)
+    )
+    base = results.by_workload(framework="baseline")
+    summary: Dict[str, Tuple[float, float]] = {}
+    for scheme in schemes:
+        mine = results.by_workload(framework=scheme)
+        speedup = geomean(list(single_frame_speedups(mine, base).values()))
+        traffic = geomean(list(traffic_ratios(mine, base).values()))
+        summary[scheme] = (speedup, traffic)
+    return summary

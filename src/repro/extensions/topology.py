@@ -25,7 +25,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, List, Sequence, Tuple
 
-from repro.config import SystemConfig, baseline_system
+from repro.config import SystemConfig
 from repro.memory.link import LinkFabric, TrafficType
 
 __all__ = [
@@ -180,46 +180,57 @@ def topology_sweep(
     draw_scale: float = 1.0,
     num_frames: int = 2,
     config: SystemConfig | None = None,
+    jobs: int = 1,
+    cache=None,
 ) -> Dict[str, Dict[str, float]]:
     """Single-frame speedup over (baseline, fully-connected) per cell.
 
     Returns ``{topology.value: {scheme: speedup}}`` (geomean over
-    workloads).  Implemented by monkey-patching the framework's system
-    factory so every run uses the requested fabric.
+    workloads).  The study is one declarative
+    :class:`~repro.session.Sweep`: each (scheme, topology) cell is the
+    framework variant ``"<scheme>:topo=<topology>"`` (see
+    :mod:`repro.frameworks.variants`), so the grid fans out over
+    ``jobs`` worker processes and memoises through ``cache`` like any
+    figure sweep.
     """
-    from repro.experiments.runner import ExperimentConfig, scene_for
-    from repro.frameworks.base import build_framework
+    from repro.session import Sweep
     from repro.stats.metrics import geomean
 
-    config = config or baseline_system()
-    experiment = ExperimentConfig(
-        draw_scale=draw_scale, num_frames=num_frames, workloads=tuple(workloads)
+    reference_name = f"baseline:topo={Topology.FULLY_CONNECTED.value}"
+    names = [
+        f"{scheme}:topo={topology.value}"
+        for topology in topologies
+        for scheme in schemes
+    ]
+    if reference_name not in names:
+        names.append(reference_name)
+    sweep = (
+        Sweep()
+        .workloads(*workloads)
+        .frames(num_frames)
+        .scale(draw_scale)
+        .frameworks(*names)
     )
+    if config is not None:
+        sweep.config(config)
+    results = sweep.run(jobs=jobs, cache=cache)
 
-    def run(scheme: str, topology: Topology) -> Dict[str, float]:
-        out: Dict[str, float] = {}
-        for workload in workloads:
-            framework = build_framework(scheme, config)
-            original_make = framework.make_system
+    def cycles(name: str) -> Dict[str, float]:
+        return {
+            workload: results.get(
+                framework=name, workload=workload
+            ).single_frame_cycles
+            for workload in workloads
+        }
 
-            def make_system():
-                system = original_make()
-                install_topology(system, topology)
-                return system
-
-            framework.make_system = make_system  # type: ignore[method-assign]
-            result = framework.render_scene(scene_for(workload, experiment))
-            out[workload] = result.single_frame_cycles
-        return out
-
-    reference = run("baseline", Topology.FULLY_CONNECTED)
+    reference = cycles(reference_name)
     table: Dict[str, Dict[str, float]] = {}
     for topology in topologies:
         row: Dict[str, float] = {}
         for scheme in schemes:
-            cycles = run(scheme, topology)
+            mine = cycles(f"{scheme}:topo={topology.value}")
             row[scheme] = geomean(
-                [reference[w] / cycles[w] for w in workloads]
+                [reference[w] / mine[w] for w in workloads]
             )
         table[topology.value] = row
     return table

@@ -134,15 +134,45 @@ def build_framework(
     """Instantiate a registered framework by name.
 
     Known names: ``baseline``, ``1tbs-bw``, ``afr``, ``tile-v``,
-    ``tile-h``, ``object``, ``oo-app``, ``oo-vr``.
+    ``tile-h``, ``object``, ``oo-app``, ``oo-vr``.  Names containing
+    ``:`` resolve through the parameterised variant grammar
+    (:mod:`repro.frameworks.variants`), e.g. ``oo-vr:no-dhc`` or
+    ``baseline:topo=ring``.
     """
     _ensure_registered()
-    if name not in _REGISTRY:
-        raise KeyError(f"unknown framework {name!r}; have {sorted(_REGISTRY)}")
-    return _REGISTRY[name](config)
+    if name in _REGISTRY:
+        return _REGISTRY[name](config)
+    from repro.frameworks import variants
+
+    if variants.is_variant_name(name):
+        return variants.build_variant(name, config)
+    raise KeyError(f"unknown framework {name!r}; have {sorted(_REGISTRY)}")
+
+
+def validate_framework_name(name: str) -> None:
+    """Raise :class:`KeyError` unless ``name`` would build.
+
+    Accepts registered names and parameterised variants without
+    constructing anything — the cheap check
+    :meth:`RunSpec.validate <repro.session.spec.RunSpec.validate>`
+    runs per grid cell.
+    """
+    _ensure_registered()
+    if name in _REGISTRY:
+        return
+    from repro.frameworks import variants
+
+    if variants.is_variant_name(name):
+        variants.validate_variant(name)
+        return
+    raise KeyError(f"unknown framework {name!r}; have {sorted(_REGISTRY)}")
 
 
 def framework_names() -> List[str]:
-    """All registered framework names (after importing implementations)."""
+    """All registered framework names (after importing implementations).
+
+    Parameterised variants (``oo-vr:no-dhc``, ``baseline:topo=ring``,
+    ...) are intentionally not enumerated here — the grammar is open.
+    """
     _ensure_registered()
     return sorted(_REGISTRY)

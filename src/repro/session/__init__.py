@@ -18,8 +18,14 @@ is a cell (or grid of cells) of the paper's evaluation space
 :data:`FAST` and :data:`FULL` are the two standard scale presets
 (:class:`ExperimentConfig`), applied with ``.fast()`` / ``.full()`` /
 ``.preset(...)``.
+
+:class:`ResultCache` memoises executed cells on disk, keyed by a
+stable content hash of the spec (:func:`spec_key`); pass it (or a
+directory path) as ``Sweep.run(cache=...)`` to skip already-executed
+grid cells while staying byte-identical to an uncached run.
 """
 
+from repro.session.cache import CacheStats, ResultCache, spec_key
 from repro.session.result import ResultSet
 from repro.session.session import Session, SessionError, Sweep
 from repro.session.spec import (
@@ -27,21 +33,26 @@ from repro.session.spec import (
     DEFAULT_SEED,
     FAST,
     FULL,
+    RECORD_FIELDS,
     ExperimentConfig,
     RunSpec,
     SpecError,
 )
 
 __all__ = [
+    "CacheStats",
     "DEFAULT_FRAMES",
     "DEFAULT_SEED",
     "ExperimentConfig",
     "FAST",
     "FULL",
+    "RECORD_FIELDS",
+    "ResultCache",
     "ResultSet",
     "RunSpec",
     "Session",
     "SessionError",
     "SpecError",
     "Sweep",
+    "spec_key",
 ]

@@ -1,0 +1,215 @@
+"""Content-addressed result cache keyed by the frozen :class:`RunSpec`.
+
+A sweep cell is fully determined by its spec: the identity columns
+(:data:`~repro.session.spec.RECORD_FIELDS`) plus the hardware
+configuration it runs under.  :func:`spec_key` hashes that identity
+into a stable hex digest — SHA-256 over canonical JSON, so the key is
+identical across processes, machines and Python hash seeds — and
+:class:`ResultCache` stores one JSON document per key, round-tripped
+through :meth:`SceneResult.to_dict
+<repro.stats.metrics.SceneResult.to_dict>` /
+:meth:`~repro.stats.metrics.SceneResult.from_dict`.
+
+``Sweep.run(cache=...)`` consults the cache per cell: hits skip
+execution entirely, misses execute (serially or across workers) and
+are stored.  Because the serialisation round trip is exact, a cached
+sweep exports records, JSON and CSV byte-identical to an uncached one.
+
+Corruption is tolerated, not trusted: an unreadable entry, a schema
+mismatch, or a stored spec that disagrees with the requested one all
+count as misses, and the re-executed result overwrites the bad entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.session.spec import RunSpec
+from repro.stats.metrics import SceneResult
+
+#: Bumped whenever the entry schema changes; mismatching entries are
+#: treated as misses and rewritten.
+CACHE_VERSION = 1
+
+_ENTRY_SUFFIX = ".json"
+
+
+def config_fingerprint(spec: RunSpec) -> Optional[Dict[str, object]]:
+    """The spec's hardware configuration as a plain JSON-able dict.
+
+    ``config_label`` is cosmetic (two labels may name the same config,
+    one label may name two), so the cache keys on the configuration's
+    actual values instead; ``None`` means the Table 2 default.
+    """
+    if spec.config is None:
+        return None
+    return dataclasses.asdict(spec.config)
+
+
+def spec_key(spec: RunSpec) -> str:
+    """Stable content hash of one evaluation cell.
+
+    Covers every :meth:`RunSpec.record_fields
+    <repro.session.spec.RunSpec.record_fields>` column except the
+    cosmetic ``config_label``, plus the full config fingerprint.
+    """
+    identity = spec.record_fields()
+    identity.pop("config_label", None)
+    payload = {
+        "version": CACHE_VERSION,
+        "spec": identity,
+        "config": config_fingerprint(spec),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting accumulated over a cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Misses caused by unreadable or mismatching entries.
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> str:
+        text = f"{self.hits} hits, {self.misses} misses"
+        if self.corrupt:
+            text += f" ({self.corrupt} corrupt entries discarded)"
+        return text
+
+
+class ResultCache:
+    """On-disk (spec -> SceneResult) store under one directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    # -- addressing ---------------------------------------------------------
+
+    def key(self, spec: RunSpec) -> str:
+        return spec_key(spec)
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.root / f"{self.key(spec)}{_ENTRY_SUFFIX}"
+
+    def _entries(self) -> Iterator[Path]:
+        return (
+            path
+            for path in sorted(self.root.glob(f"*{_ENTRY_SUFFIX}"))
+            if path.is_file()
+        )
+
+    # -- lookup and store ---------------------------------------------------
+
+    def get(self, spec: RunSpec) -> Optional[SceneResult]:
+        """The cached result for ``spec``, or ``None`` on a miss.
+
+        Anything wrong with the entry — unparsable JSON, a schema from
+        another cache version, a stored spec that does not match the
+        requested one (hash collision or hand-edited file) — degrades
+        to a miss rather than an error.
+        """
+        path = self.path_for(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry["version"] != CACHE_VERSION:
+                raise ValueError("cache entry from another schema version")
+            # Compare the same identity spec_key hashes: config_label is
+            # cosmetic (two labels may name one config), so a relabelled
+            # lookup must still hit.
+            stored = dict(entry["spec"])
+            stored.pop("config_label", None)
+            expected = _jsonify(spec.record_fields())
+            expected.pop("config_label", None)
+            if stored != expected:
+                raise ValueError("cache entry spec mismatch")
+            if entry.get("config") != _jsonify(config_fingerprint(spec)):
+                raise ValueError("cache entry config mismatch")
+            result = SceneResult.from_dict(entry["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: SceneResult) -> Path:
+        """Store ``result`` under ``spec``'s key (atomic replace)."""
+        entry = {
+            "version": CACHE_VERSION,
+            "key": self.key(spec),
+            "spec": spec.record_fields(),
+            "config": config_fingerprint(spec),
+            "result": result.to_dict(include_frames=True),
+        }
+        path = self.path_for(spec)
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=self.root,
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(entry, handle, indent=1)
+                handle.write("\n")
+            os.replace(handle.name, path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+        self.stats.stores += 1
+        return path
+
+    # -- maintenance --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def info(self) -> Dict[str, object]:
+        """Entry count and on-disk footprint (for ``oovr cache info``)."""
+        entries: List[Tuple[str, int]] = [
+            (path.stem, path.stat().st_size) for path in self._entries()
+        ]
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "total_bytes": sum(size for _, size in entries),
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entries()):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+def _jsonify(value: object) -> object:
+    """``value`` as it would look after a JSON round trip."""
+    return json.loads(json.dumps(value))

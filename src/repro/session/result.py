@@ -18,7 +18,7 @@ import json
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.memory.link import TrafficType
-from repro.session.spec import RunSpec
+from repro.session.spec import RECORD_FIELDS, RunSpec
 from repro.stats.metrics import SceneResult, geomean
 
 GroupKey = Union[str, Tuple[str, ...]]
@@ -49,12 +49,23 @@ class ResultSet:
     # -- selection ----------------------------------------------------------
 
     def select(self, **where: object) -> "ResultSet":
-        """The subset whose record fields equal every ``where`` item."""
+        """The subset whose record fields equal every ``where`` item.
+
+        ``where`` keys must be real spec identity columns — a typo like
+        ``framwork="oo-vr"`` raises instead of silently matching
+        nothing.
+        """
+        unknown = sorted(key for key in where if key not in RECORD_FIELDS)
+        if unknown:
+            raise KeyError(
+                f"unknown record field(s) {unknown}; "
+                f"valid fields: {list(RECORD_FIELDS)}"
+            )
         kept = [
             (spec, result)
             for spec, result in self._runs
             if all(
-                spec.record_fields().get(key) == value
+                spec.record_fields()[key] == value
                 for key, value in where.items()
             )
         ]
@@ -70,10 +81,24 @@ class ResultSet:
         return subset.results[0]
 
     def by_workload(self, **where: object) -> Dict[str, SceneResult]:
-        """Workload -> result mapping (the legacy suite-run shape)."""
+        """Workload -> result mapping (the legacy suite-run shape).
+
+        The mapping is only well-defined when each workload appears
+        once in the subset; spanning several frameworks or config
+        labels raises instead of silently keeping the last run.
+        """
         subset = self.select(**where) if where else self
         out: Dict[str, SceneResult] = {}
         for spec, result in subset:
+            if spec.workload in out:
+                frameworks = sorted({s.framework for s in subset.specs})
+                configs = sorted({s.config_label for s in subset.specs})
+                raise ValueError(
+                    f"by_workload({where or ''}) is ambiguous: workload "
+                    f"{spec.workload!r} appears more than once (frameworks "
+                    f"{frameworks}, configs {configs}); narrow the subset "
+                    "with select() keys"
+                )
             out[spec.workload] = result
         return out
 
@@ -147,12 +172,21 @@ class ResultSet:
     def geomean_by(
         self, metric: str, by: GroupKey = "framework"
     ) -> Dict[object, float]:
-        """Geometric mean of ``metric`` per group (``by`` field or tuple)."""
+        """Geometric mean of ``metric`` per group (``by`` field or tuple).
+
+        An all-zero group (e.g. a ``traffic_*`` column for workloads
+        that move no inter-GPM bytes) yields 0.0; mixed-sign or
+        negative groups still raise from :func:`geomean
+        <repro.stats.metrics.geomean>`.
+        """
         groups: Dict[object, List[float]] = {}
         for record in self.to_records():
             key = self._group_key(record, by)
             groups.setdefault(key, []).append(float(record[metric]))
-        return {key: geomean(values) for key, values in groups.items()}
+        return {
+            key: 0.0 if all(v == 0.0 for v in values) else geomean(values)
+            for key, values in groups.items()
+        }
 
     def normalize_to(
         self,

@@ -25,10 +25,12 @@ so a parallel sweep produces records identical to a serial one.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.config import SystemConfig
 from repro.scene.scene import Scene
+from repro.session.cache import ResultCache
 from repro.session.result import ResultSet
 from repro.session.spec import (
     DEFAULT_FRAMES,
@@ -242,21 +244,49 @@ class Sweep(_ScaleMixin):
                     )
         return out
 
-    def run(self, jobs: int = 1) -> ResultSet:
+    def run(
+        self,
+        jobs: int = 1,
+        cache: Optional[Union[ResultCache, str, Path]] = None,
+    ) -> ResultSet:
         """Execute the grid into a :class:`ResultSet`.
 
         ``jobs > 1`` fans specs out over a ``ProcessPoolExecutor``;
         results are gathered in grid order, so the records (and any CSV
         or JSON export) are identical to a serial run.  Scene
         construction is memoised per process.
+
+        ``cache`` (a :class:`~repro.session.cache.ResultCache` or a
+        directory path) memoises results by :func:`spec_key
+        <repro.session.cache.spec_key>`: already-executed cells are
+        loaded instead of re-rendered, misses are executed and stored.
+        The serialisation round trip is exact, so a cached run stays
+        byte-identical to an uncached one.
         """
         if jobs < 1:
             raise SessionError("jobs must be at least 1")
         specs = self.specs()
-        if jobs == 1 or len(specs) <= 1:
-            results = [_execute_spec(spec) for spec in specs]
-        else:
-            workers = min(jobs, len(specs))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_execute_spec, specs))
+        if cache is None:
+            return ResultSet(
+                list(zip(specs, self._execute(specs, jobs)))
+            )
+        if not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        results: List[Optional[SceneResult]] = [
+            cache.get(spec) for spec in specs
+        ]
+        missing = [i for i, result in enumerate(results) if result is None]
+        executed = self._execute([specs[i] for i in missing], jobs)
+        for index, result in zip(missing, executed):
+            cache.put(specs[index], result)
+            results[index] = result
         return ResultSet(list(zip(specs, results)))
+
+    @staticmethod
+    def _execute(specs: Sequence[RunSpec], jobs: int) -> List[SceneResult]:
+        """Run ``specs`` in order, serially or across worker processes."""
+        if jobs == 1 or len(specs) <= 1:
+            return [_execute_spec(spec) for spec in specs]
+        workers = min(jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_execute_spec, specs))

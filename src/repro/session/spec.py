@@ -82,6 +82,19 @@ def cached_scene(
     )
 
 
+#: The identity columns every tidy result record carries, in column
+#: order.  ``ResultSet.select`` validates its ``where`` keys against
+#: this list so a typo cannot silently match nothing.
+RECORD_FIELDS = (
+    "framework",
+    "workload",
+    "config_label",
+    "num_frames",
+    "seed",
+    "draw_scale",
+)
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One (framework, workload, config) cell of the evaluation grid."""
@@ -97,13 +110,14 @@ class RunSpec:
 
     def validate(self) -> "RunSpec":
         """Check the spec against the registries; return it for chaining."""
-        from repro.frameworks.base import framework_names
+        from repro.frameworks.base import validate_framework_name
 
-        known = framework_names()
-        if self.framework not in known:
-            raise SpecError(
-                f"unknown framework {self.framework!r}; have {known}"
-            )
+        try:
+            # Accepts registered names and parameterised variants like
+            # "oo-vr:no-dhc" or "baseline:topo=ring".
+            validate_framework_name(self.framework)
+        except KeyError as error:
+            raise SpecError(error.args[0]) from error
         try:
             # Accepts the nine WORKLOADS points and bare abbreviations
             # like "DM3" (default resolution), matching scene builders.
@@ -148,11 +162,4 @@ class RunSpec:
 
     def record_fields(self) -> dict:
         """The spec's identity columns of a tidy result record."""
-        return {
-            "framework": self.framework,
-            "workload": self.workload,
-            "config_label": self.config_label,
-            "num_frames": self.num_frames,
-            "seed": self.seed,
-            "draw_scale": self.draw_scale,
-        }
+        return {name: getattr(self, name) for name in RECORD_FIELDS}

@@ -50,6 +50,11 @@ class TrafficBreakdown:
             merged[key] = merged.get(key, 0.0) + value
         return TrafficBreakdown(merged)
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "TrafficBreakdown":
+        """Inverse of the ``{type.value: bytes}`` serialisation."""
+        return cls({TrafficType(key): value for key, value in data.items()})
+
 
 @dataclass(frozen=True)
 class FrameResult:
@@ -114,6 +119,25 @@ class FrameResult:
             "inter_gpm_bytes": self.inter_gpm_bytes,
             "load_balance_ratio": self.load_balance_ratio,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FrameResult":
+        """Inverse of :meth:`to_dict`.
+
+        Only the primary fields are read; derived entries
+        (``inter_gpm_bytes``, ``load_balance_ratio``) are recomputed,
+        so a round trip is exact and tamper-evident.
+        """
+        return cls(
+            framework=str(data["framework"]),
+            workload=str(data["workload"]),
+            cycles=data["cycles"],
+            gpm_busy_cycles=list(data["gpm_busy_cycles"]),
+            composition_cycles=data["composition_cycles"],
+            traffic=TrafficBreakdown.from_dict(data["traffic"]),
+            dram_bytes=list(data["dram_bytes"]),
+            resident_bytes=data.get("resident_bytes", 0.0),
+        )
 
 
 @dataclass(frozen=True)
@@ -199,9 +223,41 @@ class SceneResult:
             out["frames"] = [frame.to_dict() for frame in self.frames]
         return out
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SceneResult":
+        """Inverse of :meth:`to_dict` (requires per-frame detail).
+
+        Summary metrics (``single_frame_cycles`` etc.) are properties
+        recomputed from the frames, so a serialised result re-reads to
+        a value-identical :class:`SceneResult` — the round trip the
+        :mod:`repro.session.cache` store relies on.
+        """
+        frames = data.get("frames")
+        if not frames:
+            raise ValueError(
+                "SceneResult.from_dict needs per-frame detail; serialise "
+                "with to_dict(include_frames=True)"
+            )
+        return cls(
+            framework=str(data["framework"]),
+            workload=str(data["workload"]),
+            frames=[FrameResult.from_dict(frame) for frame in frames],
+            frame_interval_cycles=data["frame_interval_cycles"],
+        )
+
 
 def geomean(values: Sequence[float]) -> float:
-    """Geometric mean; the conventional average for speedup series."""
+    """Geometric mean; the conventional average for speedup series.
+
+    Negative inputs are rejected outright (a geometric mean of mixed
+    signs is meaningless); zeros are dropped, so zero-heavy series
+    average their positive entries.  An all-zero (or empty) input
+    raises — callers that want 0.0 for "no traffic anywhere" handle it
+    explicitly (see :meth:`ResultSet.geomean_by
+    <repro.session.result.ResultSet.geomean_by>`).
+    """
+    if any(v < 0 for v in values):
+        raise ValueError("geomean needs non-negative values")
     vals = [v for v in values if v > 0]
     if not vals:
         raise ValueError("geomean needs positive values")

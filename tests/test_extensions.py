@@ -15,10 +15,15 @@ from repro.extensions import (
     MigrationEngine,
     RoutedLinkFabric,
     Topology,
+    atw_study,
     foveate_frame,
     foveate_scene,
+    foveation_study,
     install_topology,
+    local_bandwidth_sweep,
+    migration_study,
     simulate_atw,
+    topology_sweep,
 )
 from repro.extensions.atw import atw_for_scene
 from repro.extensions.hbm import with_local_bandwidth
@@ -332,6 +337,82 @@ class TestFoveation:
         foveated = foveate_frame(frame, config)
         for a, b in zip(frame.objects, foveated.objects):
             assert b.shader_complexity <= a.shader_complexity + 1e-12
+
+
+class TestStudyDrivers:
+    """The extension studies as declarative Sweep grids (+ cache)."""
+
+    TINY = None  # populated below; ExperimentConfig import kept local
+
+    @classmethod
+    def setup_class(cls):
+        from repro.session import ExperimentConfig
+
+        cls.TINY = ExperimentConfig(
+            draw_scale=0.08, num_frames=2, workloads=("DM3-640",)
+        )
+
+    def test_atw_study_shapes(self):
+        reports = atw_study(("baseline", "oo-vr"), self.TINY)
+        assert set(reports) == {"baseline", "oo-vr"}
+        for scheme, per_workload in reports.items():
+            assert [r.workload for r in per_workload] == ["DM3-640"]
+            assert all(r.framework == scheme for r in per_workload)
+
+    def test_atw_study_panel_scaling_slows_frames(self):
+        plain = atw_study(("oo-vr",), self.TINY)["oo-vr"][0]
+        scaled = atw_study(("oo-vr",), self.TINY, panel_pixels=116.64e6)[
+            "oo-vr"
+        ][0]
+        assert scaled.mean_latency_ms > plain.mean_latency_ms
+
+    def test_foveation_study_stacks_gain(self):
+        table = foveation_study(("DM3-640",), self.TINY)
+        speedups = table["DM3-640"]
+        assert speedups["oo-vr+fov"] > speedups["oo-vr"] > 1.0
+
+    def test_topology_sweep_reference_cell_is_one(self):
+        table = topology_sweep(
+            schemes=("baseline", "oo-vr"),
+            workloads=("DM3-640",),
+            draw_scale=0.08,
+            num_frames=2,
+        )
+        assert table["fully-connected"]["baseline"] == pytest.approx(1.0)
+        for row in table.values():
+            assert row["oo-vr"] >= row["baseline"]
+
+    def test_migration_study_summary(self):
+        summary = migration_study(
+            ("baseline", "baseline-mig", "oo-vr"), self.TINY
+        )
+        base_speedup, base_traffic = summary["baseline"]
+        assert base_speedup == pytest.approx(1.0)
+        assert base_traffic == pytest.approx(1.0)
+        assert summary["oo-vr"][0] > 1.0
+
+    def test_hbm_sweep_reference_cell_is_one(self):
+        table = local_bandwidth_sweep(
+            schemes=("baseline", "oo-vr"),
+            generations={"1 TB/s (paper)": 1000.0, "4 TB/s": 4000.0},
+            workloads=("DM3-640",),
+            draw_scale=0.08,
+            num_frames=2,
+        )
+        assert table["1 TB/s (paper)"]["baseline"] == pytest.approx(1.0)
+
+    def test_studies_share_one_cache(self, tmp_path):
+        from repro.session import ResultCache
+
+        cache = ResultCache(tmp_path)
+        atw_study(("baseline", "oo-vr"), self.TINY, cache=cache)
+        assert cache.stats.misses == 2
+        # The migration study reuses both cells and adds baseline-mig.
+        migration_study(
+            ("baseline", "baseline-mig", "oo-vr"), self.TINY, cache=cache
+        )
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 3
 
 
 class TestHBMScaling:

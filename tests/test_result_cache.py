@@ -1,0 +1,228 @@
+"""The RunSpec-keyed result cache: keys, round trips, sweep memoisation."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.config import baseline_system
+from repro.session import (
+    ExperimentConfig,
+    ResultCache,
+    RunSpec,
+    Sweep,
+    spec_key,
+)
+from repro.stats.metrics import SceneResult
+
+#: Two tiny workloads keep these tests quick.
+TINY = ExperimentConfig(
+    draw_scale=0.08, num_frames=2, workloads=("DM3-640", "WE")
+)
+
+
+def tiny_sweep() -> Sweep:
+    return Sweep().preset(TINY).frameworks("baseline", "oo-vr")
+
+
+def tiny_spec(**overrides) -> RunSpec:
+    fields = dict(
+        framework="oo-vr",
+        workload="WE",
+        num_frames=2,
+        seed=2019,
+        draw_scale=0.08,
+    )
+    fields.update(overrides)
+    return RunSpec(**fields)
+
+
+class TestSpecKey:
+    def test_key_is_deterministic(self):
+        assert spec_key(tiny_spec()) == spec_key(tiny_spec())
+
+    def test_key_differs_per_identity_field(self):
+        base = spec_key(tiny_spec())
+        assert spec_key(tiny_spec(framework="baseline")) != base
+        assert spec_key(tiny_spec(workload="DM3-640")) != base
+        assert spec_key(tiny_spec(seed=7)) != base
+        assert spec_key(tiny_spec(draw_scale=0.5)) != base
+
+    def test_key_covers_config_values_not_label(self):
+        base = spec_key(tiny_spec())
+        relabelled = tiny_spec(config_label="renamed")
+        assert spec_key(relabelled) == base
+        configured = tiny_spec(config=baseline_system(num_gpms=2))
+        assert spec_key(configured) != base
+
+    def test_key_stable_across_processes(self):
+        """SHA-256 over canonical JSON, not Python's seeded hash()."""
+        script = (
+            "from repro.session import RunSpec, spec_key\n"
+            "from repro.config import baseline_system\n"
+            "spec = RunSpec(framework='oo-vr', workload='WE', num_frames=2,\n"
+            "               seed=2019, draw_scale=0.08,\n"
+            "               config=baseline_system(num_gpms=2))\n"
+            "print(spec_key(spec))\n"
+        )
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "12345"
+        child = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        local = spec_key(tiny_spec(config=baseline_system(num_gpms=2)))
+        assert child.stdout.strip() == local
+
+
+class TestResultCacheStore:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec().validate()
+        result = spec.execute()
+        cache.put(spec, result)
+        cached = cache.get(spec)
+        assert isinstance(cached, SceneResult)
+        assert cached.to_dict() == result.to_dict()
+
+    def test_hit_miss_accounting(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec().validate()
+        assert cache.get(spec) is None
+        assert (cache.stats.hits, cache.stats.misses) == (0, 1)
+        cache.put(spec, spec.execute())
+        assert cache.get(spec) is not None
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == 0.5
+        assert "1 hits, 1 misses" in cache.stats.summary()
+
+    def test_corrupted_entry_recovers(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec().validate()
+        result = spec.execute()
+        cache.put(spec, result)
+        cache.path_for(spec).write_text("{ not json", encoding="utf-8")
+        assert cache.get(spec) is None
+        assert cache.stats.corrupt == 1
+        # A sweep through the same cache re-executes and heals the entry.
+        results = Sweep().preset(TINY).workloads("WE").frameworks(
+            "oo-vr"
+        ).run(cache=cache)
+        assert len(results) == 1
+        healed = cache.get(spec)
+        assert healed is not None
+        assert healed.to_dict() == result.to_dict()
+
+    def test_schema_version_mismatch_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec().validate()
+        cache.put(spec, spec.execute())
+        path = cache.path_for(spec)
+        entry = json.loads(path.read_text())
+        entry["version"] = -1
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(spec) is None
+        assert cache.stats.corrupt == 1
+
+    def test_relabelled_config_still_hits(self, tmp_path):
+        """config_label is cosmetic: the same config under another
+        label must hit the same entry, not read as corrupt."""
+        cache = ResultCache(tmp_path)
+        config = baseline_system(num_gpms=2)
+        labelled_a = tiny_spec(config=config, config_label="A").validate()
+        labelled_b = tiny_spec(config=config, config_label="B").validate()
+        cache.put(labelled_a, labelled_a.execute())
+        assert cache.get(labelled_b) is not None
+        assert cache.stats.corrupt == 0
+        assert (cache.stats.hits, cache.stats.misses) == (1, 0)
+
+    def test_stored_spec_mismatch_is_miss(self, tmp_path):
+        """A hand-edited (or colliding) entry must not impersonate."""
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec().validate()
+        cache.put(spec, spec.execute())
+        path = cache.path_for(spec)
+        entry = json.loads(path.read_text())
+        entry["spec"]["seed"] = 7
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(spec) is None
+
+    def test_info_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for workload in TINY.workloads:
+            spec = tiny_spec(workload=workload).validate()
+            cache.put(spec, spec.execute())
+        info = cache.info()
+        assert info["entries"] == len(cache) == 2
+        assert info["total_bytes"] > 0
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestSweepCaching:
+    def test_repeated_sweep_all_hits(self, tmp_path):
+        first = ResultCache(tmp_path)
+        tiny_sweep().run(cache=first)
+        assert (first.stats.hits, first.stats.misses) == (0, 4)
+        second = ResultCache(tmp_path)
+        tiny_sweep().run(cache=second)
+        assert (second.stats.hits, second.stats.misses) == (4, 0)
+        assert second.stats.hit_rate == 1.0
+
+    def test_cached_sweep_byte_identical_to_uncached(self, tmp_path):
+        uncached = tiny_sweep().run()
+        cache = ResultCache(tmp_path)
+        warmup = tiny_sweep().run(cache=cache)
+        cached = tiny_sweep().run(cache=cache)
+        assert cache.stats.hits == 4
+        assert cached.to_csv() == uncached.to_csv() == warmup.to_csv()
+        assert cached.to_json() == uncached.to_json()
+        assert cached.to_records() == uncached.to_records()
+
+    def test_partial_hits_fill_the_gaps(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        Sweep().preset(TINY).frameworks("baseline").run(cache=cache)
+        results = tiny_sweep().run(cache=cache)
+        assert (cache.stats.hits, cache.stats.misses) == (2, 2 + 2)
+        assert len(results) == 4
+        assert results.to_csv() == tiny_sweep().run().to_csv()
+
+    def test_cache_accepts_directory_path(self, tmp_path):
+        path = tmp_path / "store"
+        first = tiny_sweep().run(cache=str(path))
+        second = tiny_sweep().run(cache=str(path))
+        assert first.to_csv() == second.to_csv()
+        assert len(ResultCache(path)) == 4
+
+    def test_parallel_cached_sweep_matches_serial(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        parallel = tiny_sweep().run(jobs=2, cache=cache)
+        assert cache.stats.misses == 4
+        serial = tiny_sweep().run()
+        assert parallel.to_csv() == serial.to_csv()
+        replay = tiny_sweep().run(jobs=2, cache=cache)
+        assert cache.stats.hits == 4
+        assert replay.to_csv() == serial.to_csv()
+
+    def test_variant_frameworks_cache_cleanly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sweep = lambda: (
+            Sweep()
+            .preset(TINY)
+            .workloads("WE")
+            .frameworks("oo-vr:no-dhc", "baseline:topo=ring")
+        )
+        first = sweep().run(cache=cache)
+        second = sweep().run(cache=cache)
+        assert (cache.stats.hits, cache.stats.misses) == (2, 2)
+        assert first.to_csv() == second.to_csv() == sweep().run().to_csv()

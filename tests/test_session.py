@@ -153,6 +153,23 @@ class TestSweepExecution:
         with pytest.raises(KeyError):
             results.get(framework="oo-vr")  # two workloads match
 
+    def test_select_rejects_typo_field(self):
+        results = tiny_sweep().run()
+        with pytest.raises(KeyError, match="framwork"):
+            results.select(framwork="oo-vr")
+        with pytest.raises(KeyError, match="valid fields"):
+            results.get(framwork="oo-vr", workload="WE")
+        # An empty result set still validates keys.
+        with pytest.raises(KeyError):
+            ResultSet([]).select(framwork="oo-vr")
+
+    def test_by_workload_rejects_ambiguous_subset(self):
+        results = tiny_sweep().run()
+        with pytest.raises(ValueError, match="ambiguous"):
+            results.by_workload()  # two frameworks clobber each key
+        narrowed = results.by_workload(framework="oo-vr")
+        assert list(narrowed) == list(TINY.workloads)
+
 
 class TestResultSetMath:
     def test_normalize_to_speedups(self):
@@ -177,6 +194,30 @@ class TestResultSetMath:
         )
         assert ("oo-vr", "base") in means
         assert all(value > 0 for value in means.values())
+
+    def test_geomean_by_all_zero_group_is_zero(self):
+        # On a single-GPM machine nothing crosses the links, so every
+        # traffic column is zero; the per-framework geomean must report
+        # 0.0 rather than raise.
+        results = (
+            Sweep()
+            .preset(TINY)
+            .workloads("WE")
+            .frameworks("baseline", "oo-vr")
+            .config(baseline_system(num_gpms=1), label="1gpm")
+            .run()
+        )
+        means = results.geomean_by("traffic_texture")
+        assert means == {"baseline": 0.0, "oo-vr": 0.0}
+
+    def test_geomean_rejects_negative_values(self):
+        from repro.stats.metrics import geomean
+
+        with pytest.raises(ValueError, match="non-negative"):
+            geomean([1.0, -2.0])
+        with pytest.raises(ValueError):
+            geomean([0.0, 0.0])
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
 
     def test_pivot_shape(self):
         table = tiny_sweep().run().pivot("throughput_fps")
@@ -249,6 +290,103 @@ class TestRegistry:
         # Re-decorating the registered class itself stays idempotent.
         register_framework("baseline")(SingleKernelBaseline)
         assert build_framework("baseline").name == "baseline"
+
+
+class TestSceneMemoisationAliasing:
+    def test_cached_scene_not_mutated_across_frameworks(self):
+        """The lru_cache hands every framework the *same* Scene object;
+        rendering must never mutate it (or the second framework would
+        see a different input than the first)."""
+        from repro.scene.benchmarks import make_benchmark_scene
+        from repro.session.spec import cached_scene
+
+        shared = cached_scene("WE", 2, 2019, 0.08)
+        shared_base = build_framework("baseline").render_scene(shared)
+        shared_oovr = build_framework("oo-vr").render_scene(shared)
+
+        fresh_base = build_framework("baseline").render_scene(
+            make_benchmark_scene("WE", num_frames=2, seed=2019, draw_scale=0.08)
+        )
+        fresh_oovr = build_framework("oo-vr").render_scene(
+            make_benchmark_scene("WE", num_frames=2, seed=2019, draw_scale=0.08)
+        )
+        for shared_result, fresh_result in (
+            (shared_base, fresh_base),
+            (shared_oovr, fresh_oovr),
+        ):
+            assert (
+                shared_result.to_dict() == fresh_result.to_dict()
+            ), "memoised scene was mutated by a previous render"
+
+
+class TestFrameworkVariants:
+    def test_ablation_variant_builds(self):
+        framework = build_framework("oo-vr:no-dhc")
+        assert framework.name == "oo-vr:no-dhc"
+        assert not framework.features.distributed_composition
+
+    def test_middleware_variants_build(self):
+        tsl = build_framework("oo-vr:tsl=0.3")
+        assert tsl._builder._middleware.tsl_threshold == 0.3
+        cap = build_framework("oo-vr:cap=8192")
+        assert cap._builder._middleware.triangle_limit == 8192
+        both = build_framework("oo-vr:tsl=0.3:cap=8192")
+        assert both._builder._middleware.tsl_threshold == 0.3
+        assert both._builder._middleware.triangle_limit == 8192
+
+    def test_topology_variant_installs_fabric(self):
+        from repro.extensions.topology import RoutedLinkFabric, Topology
+
+        framework = build_framework("baseline:topo=ring")
+        system = framework.make_system()
+        assert isinstance(system.fabric, RoutedLinkFabric)
+        assert system.fabric.topology is Topology.RING
+
+    def test_fov_variant_renders_cheaper(self):
+        scene = (
+            Session().preset(TINY).workload("DM3-640").scene()
+        )
+        plain = build_framework("oo-vr").render_scene(scene)
+        foveated = build_framework("oo-vr:fov").render_scene(scene)
+        assert foveated.single_frame_cycles < plain.single_frame_cycles
+
+    def test_variant_specs_validate_and_sweep(self):
+        spec = RunSpec(
+            framework="oo-vr:no-stealing", workload="WE"
+        ).validate()
+        assert spec.framework == "oo-vr:no-stealing"
+        results = (
+            Sweep()
+            .preset(TINY)
+            .workloads("WE")
+            .frameworks("oo-vr", "oo-vr:software-only")
+            .run()
+        )
+        records = {r["framework"]: r for r in results.to_records()}
+        assert (
+            records["oo-vr:software-only"]["single_frame_cycles"]
+            >= records["oo-vr"]["single_frame_cycles"]
+        )
+
+    def test_bad_variants_rejected(self):
+        with pytest.raises(SpecError):
+            RunSpec(framework="oo-vr:nope", workload="WE").validate()
+        with pytest.raises(SpecError):
+            # Ablation modifiers only apply to oo-vr.
+            RunSpec(framework="baseline:no-dhc", workload="WE").validate()
+        with pytest.raises(SpecError):
+            RunSpec(framework="oo-vr:tsl=abc", workload="WE").validate()
+        with pytest.raises(SpecError):
+            RunSpec(
+                framework="baseline:topo=torus", workload="WE"
+            ).validate()
+        with pytest.raises(SpecError):
+            # Two constructor modifiers cannot combine.
+            RunSpec(
+                framework="oo-vr:no-dhc:tsl=0.3", workload="WE"
+            ).validate()
+        with pytest.raises(KeyError):
+            build_framework("nope:topo=ring")
 
 
 class TestRunSpec:
