@@ -1,0 +1,75 @@
+"""Extension: engine-contention study (analytic vs discrete-event).
+
+The analytic engine — the model every reproduced figure uses — prices
+work units in isolation, so concurrent flows never contend for a shared
+link or a peer's DRAM in time.  This bench replays the same schedules
+through the discrete-event engine (``<scheme>:engine=event``), which
+time-shares each wire's and each DRAM stack's bandwidth across the
+flows active in a window, and reports the **over-credit factor**
+(event / analytic single-frame cycles).
+
+Expected shape: ~1.0 on the paper's dedicated pairwise fabric (its
+"no interference" assumption really holds), a 2-3x penalty for the
+baseline on a shared central switch, and a far smaller one for OO-VR —
+the bytes its locality removes are exactly the bytes that would have
+queued on the contended wire.
+"""
+
+from benchmarks.conftest import BENCH, BENCH_CACHE, record_output
+from repro.experiments.engines import (
+    CONTENTION_BANDWIDTHS_GB,
+    CONTENTION_FRAMEWORKS,
+    engine_contention_study,
+)
+
+#: Three representative workloads keep the full-scale grid tractable
+#: (frameworks x engines x bandwidths x workloads cells).
+WORKLOADS = ("DM3-1280", "HL2-1280", "WE")
+
+
+def run_engine_contention():
+    figure = engine_contention_study(
+        BENCH,
+        workloads=WORKLOADS,
+        cache=BENCH_CACHE,
+    )
+    text = "\n".join(
+        [
+            "Extension E6: analytic over-credit under congestion "
+            "(event / analytic cycles)",
+            f"workloads: {', '.join(WORKLOADS)} (geomean)",
+            figure.to_text(),
+        ]
+    )
+    return text, figure
+
+
+def test_engine_contention(bench_once):
+    text, figure = bench_once(run_engine_contention)
+    record_output("engine_contention", text)
+    series = figure.series
+    cheap = f"{CONTENTION_BANDWIDTHS_GB[-1]:.0f}GB/s"
+    paper = f"{CONTENTION_BANDWIDTHS_GB[0]:.0f}GB/s"
+    assert set(series) == set(CONTENTION_FRAMEWORKS)
+    # The discrete-event replay never undercuts the analytic price by
+    # more than the documented full-duplex divergence (bidirectional
+    # per-peer traffic drains in parallel where the analytic roll-up
+    # serialises it); beyond that, contention only slows frames down.
+    for row in series.values():
+        for factor in row.values():
+            assert factor >= 0.98
+    # On the paper's dedicated pairwise fabric the "no interference"
+    # assumption holds: the analytic model is nearly exact.
+    assert abs(series["baseline"][paper] - 1.0) < 0.1
+    # On a shared switch the baseline's remote streams queue up, and
+    # the analytic model over-credits it far more than it does OO-VR.
+    assert (
+        series["baseline:topo=switch"][cheap]
+        > series["oo-vr:topo=switch"][cheap] + 0.05
+    )
+    # OO-VR's traffic reduction keeps its congestion penalty a
+    # fraction of the baseline's even where the fabric is worst.
+    assert (
+        series["oo-vr:topo=switch"][cheap]
+        < 0.6 * series["baseline:topo=switch"][cheap]
+    )

@@ -11,6 +11,8 @@ Every experiment command is a thin wrapper over the Session/Sweep API
     oovr run oo-vr HL2-1280 --json    # ... as a JSON document
     oovr sweep --frameworks oo-vr,afr --workloads HL2-1280,WE \\
         --fast --jobs 4 --csv out.csv # grid -> tidy CSV records
+    oovr run oo-vr HL2-1280 --engine event  # contention-aware timing
+    oovr sweep --fast --engine event  # whole grid on the event engine
     oovr sweep --fast --cache .oovr-cache  # memoise cells on disk
     oovr cache info .oovr-cache  # entry count and footprint
     oovr cache clear .oovr-cache # drop every cached result
@@ -88,6 +90,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         .workload(args.workload)
         .preset(_experiment(args))
     )
+    if args.engine is not None:
+        session.engine(args.engine)
     result = session.run()
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
@@ -107,6 +111,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         frame.traffic.by_type.items(), key=lambda kv: -kv[1]
     ):
         print(f"  {traffic.value:<12} {nbytes / (1024 * 1024):8.2f} MB")
+    system = getattr(session.last_framework, "last_system", None)
+    trace = getattr(system, "last_trace", None)
+    if trace is not None and trace.engine != "analytic" and trace.intervals:
+        from repro.stats.timeline import trace_timeline
+
+        print(f"frame trace (last frame, {trace.engine} engine):")
+        print(trace_timeline(trace))
     engine = getattr(session.last_framework, "last_engine", None)
     if engine is not None and engine.records:
         from repro.stats.timeline import dispatch_timeline
@@ -126,6 +137,8 @@ def _csv_list(text: str) -> Sequence[str]:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = Sweep().preset(_experiment(args))
+    if args.engine is not None:
+        sweep.engine(args.engine)
     if args.frameworks is None:
         sweep.frameworks(*framework_names())
     else:
@@ -356,6 +369,12 @@ def make_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the scene result as a JSON document",
     )
+    run.add_argument(
+        "--engine", choices=("analytic", "event"), default=None,
+        help="execution engine: the paper's analytic roofline or "
+        "discrete-event contention-aware timing (default: whatever "
+        "the framework variant/config selects, i.e. analytic)",
+    )
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser(
@@ -381,6 +400,11 @@ def make_parser() -> argparse.ArgumentParser:
         "--cache", metavar="DIR",
         help="memoise results on disk, keyed by RunSpec; repeated grids "
         "skip already-executed cells",
+    )
+    sweep.add_argument(
+        "--engine", choices=("analytic", "event"), default=None,
+        help="execution engine for every cell, overriding variant/"
+        "config selections (part of the cache key when not 'analytic')",
     )
     sweep.set_defaults(func=_cmd_sweep)
 

@@ -88,11 +88,7 @@ class _AblatedEngine(DistributionEngine):
         if self.features.prediction:
             return super()._select_gpm(batch_index)
         # Greedy software dispatch on actual ready times (OO_APP level).
-        gpm = min(
-            range(self.system.num_gpms),
-            key=lambda g: self.system.gpms[g].ready_at,
-        )
-        return gpm, False
+        return self.system.engine.next_idle(), False
 
     def _split_stragglers(self, rendered_pixels: List[float]) -> None:
         if self.features.stealing:

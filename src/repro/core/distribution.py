@@ -24,19 +24,31 @@ only information the hardware would have (triangle counts, counter
 values, predicted rates), never the simulator's ground-truth times —
 mispredictions therefore produce exactly the residual imbalance the
 paper's OO-VR still shows.
+
+Timing flows through the system's pluggable
+:class:`~repro.engine.base.ExecutionEngine`: the dispatcher reads the
+scheduling clock (:meth:`~repro.engine.base.ExecutionEngine.ready_at`),
+observes completions through the engine's callback stream rather than
+doing its own clock arithmetic, and hands straggler slices to
+:meth:`~repro.engine.base.ExecutionEngine.steal_into` /
+:meth:`~repro.engine.base.ExecutionEngine.shed_tail` so the event
+engine can replay them with contention.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.middleware import Batch
 from repro.core.predictor import BatchObservation, RenderingTimePredictor
+from repro.engine.base import ResolvedUnit
 from repro.gpu.staging import StagingManager
 from repro.gpu.system import MultiGPUSystem
 from repro.memory.link import TrafficType
 from repro.pipeline.workunit import WorkUnit
+from repro.stats.metrics import UnitExecution
 
 #: The paper limits the batch queue to 4 entries per GPM.
 BATCH_QUEUE_DEPTH = 4
@@ -55,6 +67,17 @@ class _GpmState:
     last_start: float = 0.0
     #: Number of batches dispatched to this GPM.
     dispatched: int = 0
+
+
+@dataclass(frozen=True)
+class _PendingDispatch:
+    """Metadata for a batch in flight between submit and completion."""
+
+    batch: Batch
+    gpm: int
+    predicted: Optional[float]
+    prealloc_bytes: float
+    calibration: bool
 
 
 @dataclass(frozen=True)
@@ -87,6 +110,10 @@ class DistributionEngine:
         self._states = [
             _GpmState(gpm_id=i) for i in range(system.num_gpms)
         ]
+        self._pending: Deque[_PendingDispatch] = deque()
+        # Completion events (on the scheduling clock) drive the
+        # predictor and the per-GPM bookkeeping.
+        system.engine.on_complete(self._on_unit_complete)
         # PA units: same staged bytes as the software schemes, but the
         # copy streams while the GPM renders its previous batch, so the
         # latency hides ("pre-allocate the required data of each batch
@@ -138,6 +165,41 @@ class DistributionEngine:
         copy_ready = state.last_start + copy_cycles
         return copied, copy_ready
 
+    # -- completion events ------------------------------------------------------
+
+    def _on_unit_complete(
+        self, resolved: ResolvedUnit, execution: UnitExecution
+    ) -> None:
+        """Engine callback: a dispatched batch finished rendering."""
+        if not self._pending:
+            return  # not one of ours (e.g. a framework-side unit)
+        pending = self._pending.popleft()
+        state = self._states[pending.gpm]
+        state.predicted_busy += (
+            pending.predicted
+            if pending.predicted is not None
+            else execution.cycles
+        )
+        state.dispatched += 1
+        self.predictor.observe(
+            BatchObservation(
+                triangles=float(pending.batch.total_triangles),
+                transformed_vertices=resolved.vertices,
+                rendered_pixels=resolved.pixels_out,
+                cycles=execution.cycles,
+            )
+        )
+        self.records.append(
+            DispatchRecord(
+                batch_id=pending.batch.batch_id,
+                gpm=pending.gpm,
+                predicted_cycles=pending.predicted,
+                actual_cycles=execution.cycles,
+                prealloc_bytes=pending.prealloc_bytes,
+                calibration=pending.calibration,
+            )
+        )
+
     # -- dispatch -------------------------------------------------------------
 
     def dispatch(
@@ -146,6 +208,7 @@ class DistributionEngine:
         fb_targets_for: Optional[Callable[[WorkUnit, int], Dict[int, float]]] = None,
     ) -> List[float]:
         """Run every batch; returns per-GPM rendered pixel counts."""
+        engine = self.system.engine
         rendered_pixels = [0.0] * self.system.num_gpms
         for index, (batch, unit) in enumerate(batches):
             gpm_id, calibration = self._select_gpm(index)
@@ -156,11 +219,19 @@ class DistributionEngine:
                 else None
             )
             copied, copy_ready = self._preallocate(unit, gpm_id)
-            gpm = self.system.gpms[gpm_id]
-            start_at = max(gpm.ready_at, copy_ready)
+            start_at = max(engine.ready_at(gpm_id), copy_ready)
             state.last_start = start_at
             targets = fb_targets_for(unit, gpm_id) if fb_targets_for else None
-            execution = self.system.execute_unit(
+            self._pending.append(
+                _PendingDispatch(
+                    batch=batch,
+                    gpm=gpm_id,
+                    predicted=predicted,
+                    prealloc_bytes=copied,
+                    calibration=calibration,
+                )
+            )
+            self.system.execute_unit(
                 unit,
                 gpm_id,
                 fb_targets=targets,
@@ -168,28 +239,6 @@ class DistributionEngine:
                 start_at=start_at,
             )
             rendered_pixels[gpm_id] += unit.pixels_out
-            state.predicted_busy += (
-                predicted if predicted is not None else execution.cycles
-            )
-            state.dispatched += 1
-            self.predictor.observe(
-                BatchObservation(
-                    triangles=float(batch.total_triangles),
-                    transformed_vertices=unit.vertices,
-                    rendered_pixels=unit.pixels_out,
-                    cycles=execution.cycles,
-                )
-            )
-            self.records.append(
-                DispatchRecord(
-                    batch_id=batch.batch_id,
-                    gpm=gpm_id,
-                    predicted_cycles=predicted,
-                    actual_cycles=execution.cycles,
-                    prealloc_bytes=copied,
-                    calibration=calibration,
-                )
-            )
         self._split_stragglers(rendered_pixels)
         return rendered_pixels
 
@@ -203,14 +252,16 @@ class DistributionEngine:
         the remaining primitives to idle GPMs by ID and duplicates the
         required data into their DRAMs.  Modelled as an equalising
         transfer of tail cycles plus STEAL traffic proportional to the
-        moved work.
+        moved work, expressed through the execution engine so the event
+        engine replays the stolen slices with contention.
         """
-        system = self.system
-        n = system.num_gpms
+        engine = self.system.engine
+        n = self.system.num_gpms
         if n < 2:
             return
+        link_bpc = self.system.config.link.bytes_per_cycle
         for _ in range(n):  # a few equalisation rounds converge fast
-            ready = [gpm.ready_at for gpm in system.gpms]
+            ready = [engine.ready_at(g) for g in range(n)]
             mean_ready = sum(ready) / n
             busiest = max(range(n), key=lambda i: ready[i])
             tail = ready[busiest] - mean_ready
@@ -227,12 +278,11 @@ class DistributionEngine:
                 share = min(gap, tail / len(idle))
                 if share <= 0:
                     continue
-                system.gpms[dst].run(f"steal-from-{busiest}", share)
-                moved_total += share
-                steal_bytes = share * system.config.link.bytes_per_cycle * 0.25
-                system.fabric.transfer(
-                    busiest, dst, steal_bytes, TrafficType.STEAL
+                steal_bytes = share * link_bpc * 0.25
+                engine.steal_into(
+                    busiest, dst, f"steal-from-{busiest}", share, steal_bytes
                 )
+                moved_total += share
                 pixel_share = rendered_pixels[busiest] * (
                     share / max(ready[busiest], 1.0)
                 )
@@ -240,8 +290,4 @@ class DistributionEngine:
                 rendered_pixels[dst] += pixel_share
             if moved_total <= 0:
                 return
-            straggler = system.gpms[busiest]
-            straggler.ready_at -= moved_total
-            straggler.busy_cycles = max(
-                0.0, straggler.busy_cycles - moved_total
-            )
+            engine.shed_tail(busiest, moved_total)

@@ -91,7 +91,7 @@ class OOAppFramework(RenderingFramework):
             # Master-slave software distribution: the next batch goes to
             # whichever worker reported done first.  No prediction, no
             # pre-allocation — big batches still strand stragglers.
-            gpm = min(range(num_gpms), key=lambda g: system.gpms[g].ready_at)
+            gpm = system.engine.next_idle()
             staging.stage_unit(unit, gpm)
             system.execute_unit(
                 unit, gpm, fb_targets={gpm: 1.0}, command_source=self.root

@@ -1,0 +1,37 @@
+"""The analytic engine: the paper-reproducing per-unit roofline.
+
+Every unit is priced in isolation as ``max(compute, local DRAM time,
+slowest per-peer link time)`` and GPM clocks advance serially — exactly
+the model the reproduced figures were calibrated under.  The scheduling
+clock *is* the final clock, so :meth:`finish_frame` simply reports the
+GPM state and the intervals recorded while executing.
+
+What it cannot see — and what :class:`~repro.engine.event.EventEngine`
+exists to measure — is *contention in time*: two flows sharing a link
+(or a DRAM stack) during the same window each get the full bandwidth
+here, so concurrent congestion is under-priced.
+"""
+
+from __future__ import annotations
+
+from repro.engine.base import ExecutionEngine
+from repro.engine.trace import FrameTrace
+
+__all__ = ["AnalyticEngine"]
+
+
+class AnalyticEngine(ExecutionEngine):
+    """Behaviour-preserving port of the original per-unit pricing."""
+
+    name = "analytic"
+
+    def finish_frame(self) -> FrameTrace:
+        gpms = self.system.gpms
+        return FrameTrace(
+            engine=self.name,
+            num_gpms=self.system.num_gpms,
+            intervals=tuple(self._intervals),
+            gpm_busy=tuple(gpm.busy_cycles for gpm in gpms),
+            gpm_end=tuple(gpm.ready_at for gpm in gpms),
+            links=self._fabric_usage(),
+        )

@@ -1,0 +1,407 @@
+"""The discrete-event engine: contention-aware frame timing.
+
+The analytic model prices every work unit in isolation; real frames
+overlap, and the scarce resources — each link's ``bytes_per_cycle``
+and each DRAM stack's bandwidth — are *time-shared* between whatever
+flows are active in the same window.  :class:`EventEngine` keeps the
+analytic scheduling clock (so dispatch decisions, placement and byte
+accounting stay identical to the analytic engine) and replays the
+submitted schedule through a fluid discrete-event simulation:
+
+- each GPM runs its submitted units in order, one at a time, honouring
+  earliest-start floors (PA copy arrival);
+- an active unit makes progress on all its demands concurrently:
+  compute at rate 1, each DRAM demand at that DRAM's bandwidth divided
+  by its concurrent consumers, each link flow (after its per-hop wire
+  latency) at the bandwidth of the most contended link on its route
+  divided by that link's concurrent flows and by its hop count (the
+  same bytes x hops wire-load serialisation the analytic model
+  charges, so the two engines agree when nothing overlaps);
+- a unit completes when its last demand drains; the global clock
+  advances between completions, starts and rate changes.
+
+Uncontended, a single flow drains in exactly the analytic roofline
+time — on any fabric.  One deliberate divergence remains: the analytic
+model rolls a unit's traffic *per peer* into one serial term, even
+when it mixes directions (z-reads peer->gpm plus fb-writes gpm->peer),
+while the event engine drains opposite directions in parallel — the
+links are full-duplex wire pairs.  Bidirectional link-bound units can
+therefore finish slightly *faster* here (study factors a fraction of a
+percent under 1.0); everything beyond that gap is the time congestion
+steals, the quantity the engine-contention study measures.
+
+Two traffic classes are deliberately *not* replayed as contending
+flows: staging/pre-allocation copies (they overlap rendering through
+the copy engines — their GPM-visible cost is the stall the staging
+manager charges) and the composition pass (a barrier phase after the
+render trace whose critical path is priced analytically and added on
+top).  Their bytes appear in the fabric's counters like always;
+modelling them as background flows is an open extension.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.base import EngineError, ExecutionEngine, ResolvedUnit
+from repro.engine.trace import FrameTrace, LinkUsage, TraceInterval
+
+__all__ = ["EventEngine"]
+
+#: Demand below this many bytes/cycles counts as drained (float dust).
+_EPS = 1e-6
+#: Relative epsilon for time comparisons.
+_REL = 1e-12
+
+Link = Tuple[int, int]
+
+
+@dataclass
+class _FlowSpec:
+    """One link transfer of a scheduled job (simulation input)."""
+
+    route: Tuple[Link, ...]
+    nbytes: float
+    latency: float
+
+
+@dataclass
+class _Job:
+    """One scheduled span of one GPM (simulation input)."""
+
+    label: str
+    gpm: int
+    kind: str
+    start_floor: float
+    compute: float
+    dram: Dict[int, float]
+    flows: List[_FlowSpec]
+    #: Scheduling-clock price, used to scale stolen tails fairly.
+    provisional_cycles: float
+
+
+class _ActiveFlow:
+    """Runtime state of one flow while its job is active."""
+
+    __slots__ = ("route", "latency_remaining", "bytes_remaining")
+
+    def __init__(self, spec: _FlowSpec) -> None:
+        self.route = spec.route
+        self.latency_remaining = spec.latency
+        self.bytes_remaining = spec.nbytes
+
+    @property
+    def done(self) -> bool:
+        return self.latency_remaining <= _EPS and self.bytes_remaining <= _EPS
+
+
+class _ActiveJob:
+    """Runtime state of the job a GPM is currently executing."""
+
+    __slots__ = ("job", "start", "compute_remaining", "dram_remaining", "flows")
+
+    def __init__(self, job: _Job, start: float) -> None:
+        self.job = job
+        self.start = start
+        self.compute_remaining = job.compute
+        self.dram_remaining = {
+            gpm: nbytes for gpm, nbytes in job.dram.items() if nbytes > _EPS
+        }
+        self.flows = [_ActiveFlow(spec) for spec in job.flows]
+
+    @property
+    def done(self) -> bool:
+        return (
+            self.compute_remaining <= _EPS
+            and all(b <= _EPS for b in self.dram_remaining.values())
+            and all(flow.done for flow in self.flows)
+        )
+
+
+class EventEngine(ExecutionEngine):
+    """Discrete-event timing over the analytic engine's schedule."""
+
+    name = "event"
+
+    def __init__(self, system) -> None:
+        super().__init__(system)
+        self._jobs: List[_Job] = []
+
+    def begin_frame(self) -> None:
+        super().begin_frame()
+        self._jobs.clear()
+
+    # -- schedule recording ---------------------------------------------------
+
+    def _flow_specs(self, resolved: ResolvedUnit) -> List[_FlowSpec]:
+        fabric = self.system.fabric
+        latency = float(self.system.config.link.latency_cycles)
+        specs: List[_FlowSpec] = []
+        for flow in resolved.flows:
+            route = tuple(fabric.route(flow.src, flow.dst))
+            if not route:
+                continue
+            specs.append(
+                _FlowSpec(
+                    route=route,
+                    nbytes=flow.nbytes,
+                    latency=latency * len(route),
+                )
+            )
+        return specs
+
+    def _note_unit(
+        self,
+        resolved: ResolvedUnit,
+        start_at: Optional[float],
+        cycles: float,
+    ) -> None:
+        self._jobs.append(
+            _Job(
+                label=resolved.label,
+                gpm=resolved.gpm,
+                kind="render",
+                start_floor=start_at or 0.0,
+                compute=resolved.compute_cycles,
+                dram=dict(resolved.dram_demand),
+                flows=self._flow_specs(resolved),
+                provisional_cycles=cycles,
+            )
+        )
+
+    def _note_stall(self, gpm_id: int, label: str, cycles: float) -> None:
+        self._jobs.append(
+            _Job(
+                label=label,
+                gpm=gpm_id,
+                kind="stall",
+                start_floor=0.0,
+                compute=cycles,
+                dram={},
+                flows=[],
+                provisional_cycles=cycles,
+            )
+        )
+
+    def _note_steal(
+        self, src: int, dst: int, label: str, cycles: float, nbytes: float
+    ) -> None:
+        route = tuple(self.system.fabric.route(src, dst))
+        latency = float(self.system.config.link.latency_cycles)
+        flows = (
+            [_FlowSpec(route=route, nbytes=nbytes, latency=latency * len(route))]
+            if route
+            else []
+        )
+        self._jobs.append(
+            _Job(
+                label=label,
+                gpm=dst,
+                kind="steal",
+                start_floor=0.0,
+                compute=cycles,
+                dram={},
+                flows=flows,
+                provisional_cycles=cycles,
+            )
+        )
+
+    def _note_shed(self, gpm_id: int, cycles: float) -> None:
+        """Shrink the straggler's pending tail by ``cycles``.
+
+        The stolen slice takes its share of the tail job's compute and
+        memory demands with it (the thief re-reads the duplicated
+        data), so the tail jobs scale down proportionally, newest
+        first.
+        """
+        remaining = cycles
+        for job in reversed(self._jobs):
+            if remaining <= _EPS:
+                return
+            if job.gpm != gpm_id or job.kind != "render":
+                continue
+            p = job.provisional_cycles
+            if p <= _EPS:
+                continue
+            take = min(remaining, p)
+            factor = (p - take) / p
+            job.compute *= factor
+            job.dram = {gpm: b * factor for gpm, b in job.dram.items()}
+            for flow in job.flows:
+                flow.nbytes *= factor
+            job.provisional_cycles = p - take
+            remaining -= take
+
+    # -- simulation ----------------------------------------------------------
+
+    def _simulate(self, jobs: Sequence[_Job]) -> FrameTrace:
+        system = self.system
+        n = system.num_gpms
+        dram_bw = system.config.gpm.dram_bytes_per_cycle
+        link_bw = system.config.link.bytes_per_cycle
+
+        queues: List[deque] = [deque() for _ in range(n)]
+        for job in jobs:
+            queues[job.gpm].append(job)
+
+        active: Dict[int, _ActiveJob] = {}
+        t = 0.0
+        busy = [0.0] * n
+        end = [0.0] * n
+        intervals: List[TraceInterval] = []
+        link_busy: Dict[Link, float] = {}
+        link_bytes: Dict[Link, float] = {}
+
+        total_components = sum(
+            1 + len(job.dram) + len(job.flows) for job in jobs
+        )
+        max_steps = 1000 + 16 * (total_components + len(jobs))
+        steps = 0
+
+        while active or any(queues):
+            steps += 1
+            if steps > max_steps:
+                raise EngineError(
+                    "event simulation failed to converge "
+                    f"({len(jobs)} jobs, {steps} steps)"
+                )
+
+            # Start any idle GPM's head job whose floor has passed;
+            # zero-demand units complete instantly and hand the GPM to
+            # the next queued job within the same window.
+            next_start = float("inf")
+            for gpm in range(n):
+                while gpm not in active and queues[gpm]:
+                    floor = queues[gpm][0].start_floor
+                    if floor > t * (1 + _REL) + _EPS:
+                        next_start = min(next_start, floor)
+                        break
+                    job = queues[gpm].popleft()
+                    state = _ActiveJob(job, start=max(t, floor))
+                    if state.done:  # zero-demand unit: instantaneous
+                        intervals.append(
+                            TraceInterval(
+                                gpm=gpm, label=job.label,
+                                start=state.start, end=state.start,
+                                kind=job.kind,
+                            )
+                        )
+                        end[gpm] = max(end[gpm], state.start)
+                        for spec in job.flows:
+                            for link in spec.route:
+                                link_bytes[link] = (
+                                    link_bytes.get(link, 0.0) + spec.nbytes
+                                )
+                        continue
+                    active[gpm] = state
+
+            if not active:
+                if next_start == float("inf"):
+                    break
+                t = next_start
+                continue
+
+            # Concurrent users per shared resource in this window.
+            dram_users: Dict[int, int] = {}
+            link_users: Dict[Link, int] = {}
+            for state in active.values():
+                for gpm, nbytes in state.dram_remaining.items():
+                    if nbytes > _EPS:
+                        dram_users[gpm] = dram_users.get(gpm, 0) + 1
+                for flow in state.flows:
+                    if flow.latency_remaining <= _EPS and flow.bytes_remaining > _EPS:
+                        for link in flow.route:
+                            link_users[link] = link_users.get(link, 0) + 1
+
+            def flow_rate(flow: _ActiveFlow) -> float:
+                # Bandwidth share on the most contended link of the
+                # route, serialised over the hop count — uncontended
+                # this reproduces the analytic bytes x hops wire-load
+                # charge exactly, so engine gaps isolate contention.
+                return min(
+                    link_bw / link_users[link] for link in flow.route
+                ) / len(flow.route)
+
+            # Time to the next completion or rate change.
+            dt = next_start - t if next_start != float("inf") else float("inf")
+            for state in active.values():
+                if state.compute_remaining > _EPS:
+                    dt = min(dt, state.compute_remaining)
+                for gpm, nbytes in state.dram_remaining.items():
+                    if nbytes > _EPS:
+                        dt = min(dt, nbytes / (dram_bw / dram_users[gpm]))
+                for flow in state.flows:
+                    if flow.latency_remaining > _EPS:
+                        dt = min(dt, flow.latency_remaining)
+                    elif flow.bytes_remaining > _EPS:
+                        dt = min(dt, flow.bytes_remaining / flow_rate(flow))
+
+            if dt == float("inf"):
+                dt = 0.0
+            dt = max(dt, 0.0)
+
+            # Advance the window: deplete demands, accumulate occupancy.
+            if dt > 0.0:
+                t += dt
+                for gpm in active:
+                    busy[gpm] += dt
+                for link, users in link_users.items():
+                    if users > 0:
+                        link_busy[link] = link_busy.get(link, 0.0) + dt
+                for state in active.values():
+                    if state.compute_remaining > _EPS:
+                        state.compute_remaining -= dt
+                    for gpm in list(state.dram_remaining):
+                        nbytes = state.dram_remaining[gpm]
+                        if nbytes > _EPS:
+                            state.dram_remaining[gpm] = nbytes - dt * (
+                                dram_bw / dram_users[gpm]
+                            )
+                    for flow in state.flows:
+                        if flow.latency_remaining > _EPS:
+                            flow.latency_remaining -= dt
+                        elif flow.bytes_remaining > _EPS:
+                            flow.bytes_remaining -= dt * flow_rate(flow)
+
+            # Retire completed jobs.
+            for gpm in list(active):
+                state = active[gpm]
+                if not state.done and dt > 0.0:
+                    continue
+                intervals.append(
+                    TraceInterval(
+                        gpm=gpm, label=state.job.label,
+                        start=state.start, end=t, kind=state.job.kind,
+                    )
+                )
+                end[gpm] = max(end[gpm], t)
+                for spec in state.job.flows:
+                    for link in spec.route:
+                        link_bytes[link] = (
+                            link_bytes.get(link, 0.0) + spec.nbytes
+                        )
+                del active[gpm]
+
+        links = tuple(
+            LinkUsage(
+                src=link[0],
+                dst=link[1],
+                nbytes=link_bytes.get(link, 0.0),
+                busy_cycles=link_busy.get(link, 0.0),
+            )
+            for link in sorted(set(link_bytes) | set(link_busy))
+        )
+        return FrameTrace(
+            engine=self.name,
+            num_gpms=n,
+            intervals=tuple(intervals),
+            gpm_busy=tuple(busy),
+            gpm_end=tuple(end),
+            links=links,
+        )
+
+    def finish_frame(self) -> FrameTrace:
+        """Replay the submitted schedule through the event simulation."""
+        return self._simulate(self._jobs)

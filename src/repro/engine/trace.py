@@ -1,0 +1,138 @@
+"""Frame traces: what each GPM and link did, and when.
+
+A :class:`FrameTrace` is the common output of every
+:class:`~repro.engine.base.ExecutionEngine`: an interval log per GPM
+(render units, staging stalls, steal slices), per-link occupancy, and
+the roll-up numbers :meth:`MultiGPUSystem.frame_result
+<repro.gpu.system.MultiGPUSystem.frame_result>` needs (busy cycles per
+GPM and the render critical path).  The analytic engine assembles its
+trace from the per-unit intervals it priced eagerly; the event engine
+emits the intervals its discrete-event simulation actually produced —
+including the contention-stretched ones the analytic model cannot see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["TraceInterval", "LinkUsage", "FrameTrace"]
+
+
+@dataclass(frozen=True)
+class TraceInterval:
+    """One occupied span of one GPM's timeline."""
+
+    gpm: int
+    label: str
+    start: float
+    end: float
+    #: ``render`` (a work unit), ``stall`` (a staging copy the GPM
+    #: waited on) or ``steal`` (a straggler slice absorbed at the tail).
+    kind: str = "render"
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval ends before it starts: {self}")
+
+    @property
+    def cycles(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class LinkUsage:
+    """Occupancy of one directional physical link over the frame."""
+
+    src: int
+    dst: int
+    #: Bytes laid on this wire (physical, per hop on routed fabrics).
+    nbytes: float
+    #: Cycles the wire spent transferring (time-shared windows count
+    #: once, so this is wall-clock occupancy, not bytes/bandwidth).
+    busy_cycles: float
+
+
+@dataclass(frozen=True)
+class FrameTrace:
+    """Per-GPM/per-link timing record of one rendered frame."""
+
+    #: Name of the engine that produced the trace.
+    engine: str
+    num_gpms: int
+    intervals: Tuple[TraceInterval, ...]
+    #: Cycles each GPM spent occupied (render + stall + steal spans).
+    gpm_busy: Tuple[float, ...]
+    #: Time each GPM finished its last span (0.0 for idle GPMs).
+    gpm_end: Tuple[float, ...]
+    links: Tuple[LinkUsage, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_gpms <= 0:
+            raise ValueError("trace needs at least one GPM")
+        if len(self.gpm_busy) != self.num_gpms or len(self.gpm_end) != self.num_gpms:
+            raise ValueError("per-GPM series must cover every GPM")
+
+    @property
+    def render_critical_path(self) -> float:
+        """When the last GPM went idle: the frame's render time."""
+        return max(self.gpm_end) if self.gpm_end else 0.0
+
+    def intervals_for(self, gpm: int) -> List[TraceInterval]:
+        """This GPM's spans, in start order."""
+        if not 0 <= gpm < self.num_gpms:
+            raise ValueError(f"GPM {gpm} out of range 0..{self.num_gpms - 1}")
+        spans = [span for span in self.intervals if span.gpm == gpm]
+        spans.sort(key=lambda span: (span.start, span.end))
+        return spans
+
+    def link_bytes(self) -> Dict[Tuple[int, int], float]:
+        """Physical bytes per directional link (conservation checks).
+
+        Covers the bytes this trace *timed*: under the event engine
+        that is the render-phase flows (staging copies and the
+        composition barrier are priced analytically — see
+        :mod:`repro.engine.event` — and appear only in the fabric's
+        counters); the analytic trace reports the fabric totals.
+        """
+        out: Dict[Tuple[int, int], float] = {}
+        for usage in self.links:
+            key = (usage.src, usage.dst)
+            out[key] = out.get(key, 0.0) + usage.nbytes
+        return out
+
+    def utilisation(self, gpm: int) -> float:
+        """Occupied fraction of the frame's critical path for one GPM."""
+        horizon = self.render_critical_path
+        if horizon <= 0:
+            return 0.0
+        return self.gpm_busy[gpm] / horizon
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view (trace export from the CLI and studies)."""
+        return {
+            "engine": self.engine,
+            "num_gpms": self.num_gpms,
+            "render_critical_path": self.render_critical_path,
+            "gpm_busy": list(self.gpm_busy),
+            "gpm_end": list(self.gpm_end),
+            "intervals": [
+                {
+                    "gpm": span.gpm,
+                    "label": span.label,
+                    "start": span.start,
+                    "end": span.end,
+                    "kind": span.kind,
+                }
+                for span in self.intervals
+            ],
+            "links": [
+                {
+                    "src": usage.src,
+                    "dst": usage.dst,
+                    "bytes": usage.nbytes,
+                    "busy_cycles": usage.busy_cycles,
+                }
+                for usage in self.links
+            ],
+        }

@@ -16,12 +16,13 @@ from repro.experiments.runner import (
     run_framework_suite,
     scene_for,
 )
-from repro.experiments import figures, tables
+from repro.experiments import engines, figures, tables
 
 __all__ = [
     "ExperimentConfig",
     "run_framework_suite",
     "scene_for",
+    "engines",
     "figures",
     "tables",
 ]

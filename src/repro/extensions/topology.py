@@ -130,8 +130,8 @@ class RoutedLinkFabric(LinkFabric):
             cycles += super().transfer(hop_src, hop_dst, nbytes, traffic)
         return cycles
 
-    def hops(self, src: int, dst: int) -> int:
-        return len(self.route(src, dst))
+    # ``hops`` comes from the base class's precomputed matrix, which is
+    # built from this subclass's ``route`` on first use.
 
     # -- logical queries (figure-comparable) -----------------------------------
 

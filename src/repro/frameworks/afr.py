@@ -60,6 +60,8 @@ class AlternateFrameRendering(RenderingFramework):
         (command generation, app logic), so effective concurrency is
         the Amdahl bound ``1 / (s + (1-s)/G)``.
         """
+        if not frame_results:
+            raise ValueError("scene has no frames")
         steady = frame_results[1:] if len(frame_results) > 1 else frame_results
         latency = sum(f.cycles for f in steady) / len(steady)
         g = self.config.num_gpms

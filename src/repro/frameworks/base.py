@@ -32,6 +32,9 @@ class RenderingFramework(abc.ABC):
     def __init__(self, config: Optional[SystemConfig] = None) -> None:
         self.config = config or baseline_system()
         self.characterizer = DrawCharacterizer(self.config)
+        #: The machine of the most recent :meth:`render_scene` /
+        #: :meth:`render_frame` call (trace inspection, diagnostics).
+        self.last_system: Optional[MultiGPUSystem] = None
 
     # -- system construction ------------------------------------------------
 
@@ -58,6 +61,8 @@ class RenderingFramework(abc.ABC):
         interval is the mean steady-state single-frame latency.  AFR
         overrides this with its pipelined schedule.
         """
+        if not frame_results:
+            raise ValueError("scene has no frames")
         steady = frame_results[1:] if len(frame_results) > 1 else frame_results
         return sum(f.cycles for f in steady) / len(steady)
 
@@ -66,9 +71,14 @@ class RenderingFramework(abc.ABC):
 
         Page placement persists across frames (assets stay where the
         first frame placed them), matching steady-state hardware
-        behaviour; caches and counters reset per frame.
+        behaviour; caches and counters reset per frame.  An empty scene
+        is rejected up front — there is nothing to render, and every
+        downstream metric divides by the frame count.
         """
+        if len(scene) == 0:
+            raise ValueError("scene has no frames")
         system = self.make_system()
+        self.last_system = system
         results: List[FrameResult] = []
         for frame in scene:
             system.begin_frame(keep_placement=True)
@@ -83,6 +93,7 @@ class RenderingFramework(abc.ABC):
     def render_frame(self, frame: Frame, workload: str = "adhoc") -> FrameResult:
         """Convenience: render a single frame on a fresh machine."""
         system = self.make_system()
+        self.last_system = system
         system.begin_frame()
         return self.render_frame_on(system, frame, workload)
 

@@ -107,5 +107,5 @@ class StagingManager:
         stall = copied / (
             self.system.config.link.bytes_per_cycle * self.parallelism
         )
-        self.system.gpms[gpm].run("stage", stall)
+        self.system.engine.stall(gpm, "stage", stall)
         return stall

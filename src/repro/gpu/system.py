@@ -1,21 +1,29 @@
 """The NUMA-based multi-GPU machine.
 
-:class:`MultiGPUSystem` owns the GPMs, the page placement map, the
-per-GPM DRAM trackers and remote caches, and the link fabric.  Its job
-is the part every framework shares:
+:class:`MultiGPUSystem` owns the *machine*: the GPMs, the page
+placement map, the per-GPM DRAM trackers and remote caches, and the
+link fabric.  *Timing* — how a bound unit's demands turn into cycles,
+and how concurrent flows share links and DRAM — is delegated to a
+pluggable :class:`~repro.engine.base.ExecutionEngine`
+(:mod:`repro.engine`), selected by ``SystemConfig.engine``:
 
-- **binding**: given a work unit and a GPM, resolve each memory touch
-  through the placement map into local DRAM bytes (filtered by the
-  memory-side L2) and remote link bytes (filtered only by the small
-  remote cache — the local L2 cannot cache peer addresses), then price
-  the unit as ``max(compute, local DRAM time, per-link time)``;
+- **binding** (engine-independent): a work unit's memory touches
+  resolve through the placement map into local DRAM bytes (filtered by
+  the memory-side L2) and remote link bytes (filtered only by the small
+  remote cache — the local L2 cannot cache peer addresses);
+- **pricing** (engine-specific): the default ``analytic`` engine
+  charges ``max(compute, local DRAM time, per-link time)`` per unit in
+  isolation; the ``event`` engine replays the schedule through a
+  discrete-event simulation that time-shares bandwidth across
+  concurrently active flows;
 - **framebuffer routing**: colour/depth bytes go wherever the active
   framebuffer layout says (interleaved for the naive baseline, private
   for sort-last workers, strip-owned for tile-SFR and DHC);
 - **frame orchestration**: static per-GPM queues (the software schemes)
   or a dynamic dispatcher callback (the OO-VR distribution engine),
   plus an optional composition pass, rolled up into a
-  :class:`~repro.stats.metrics.FrameResult`.
+  :class:`~repro.stats.metrics.FrameResult` via the engine's
+  :class:`~repro.engine.trace.FrameTrace`.
 """
 
 from __future__ import annotations
@@ -24,13 +32,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig
+from repro.engine import FrameTrace, build_engine
+from repro.engine.base import KIND_TO_TRAFFIC
 from repro.memory.address import Resource, ResourceKind, Touch
-from repro.memory.cache import miss_bytes
 from repro.memory.dram import DramTracker, make_trackers
 from repro.memory.link import LinkFabric, TrafficType
 from repro.memory.placement import PagePlacement, PlacementPolicy
 from repro.memory.remote_cache import RemoteCache
-from repro.pipeline.timing import price_work_unit
 from repro.pipeline.workunit import WorkUnit
 from repro.gpu.gpm import GPM
 from repro.stats.metrics import FrameResult, TrafficBreakdown, UnitExecution
@@ -38,13 +46,8 @@ from repro.stats.metrics import FrameResult, TrafficBreakdown, UnitExecution
 #: Maps a work unit's framebuffer bytes to owner GPMs: {gpm: fraction}.
 FramebufferTargets = Mapping[int, float]
 
-_KIND_TO_TRAFFIC = {
-    ResourceKind.TEXTURE: TrafficType.TEXTURE,
-    ResourceKind.VERTEX: TrafficType.VERTEX,
-    ResourceKind.FRAMEBUFFER: TrafficType.FRAMEBUFFER,
-    ResourceKind.DEPTH: TrafficType.ZTEST,
-    ResourceKind.COMMAND: TrafficType.COMMAND,
-}
+#: Backwards-compatible alias; the mapping lives with the binder now.
+_KIND_TO_TRAFFIC = KIND_TO_TRAFFIC
 
 
 @dataclass
@@ -85,6 +88,10 @@ class MultiGPUSystem:
         #: Optional hook called as ``(resource, toucher_gpm, bytes)`` for
         #: every remote slice a touch resolves to (page-migration studies).
         self.remote_observer: Optional[Callable[[Resource, int, float], None]] = None
+        #: The timing/orchestration strategy (see :mod:`repro.engine`).
+        self.engine = build_engine(config.engine, self)
+        #: Trace of the most recently rolled-up frame (diagnostics/CLI).
+        self.last_trace: Optional[FrameTrace] = None
         self._accounting = _FrameAccounting()
 
     # -- lifecycle ---------------------------------------------------------
@@ -110,85 +117,8 @@ class MultiGPUSystem:
         self.fabric.reset()
         if not keep_placement:
             self.placement.reset()
+        self.engine.begin_frame()
         self._accounting = _FrameAccounting()
-
-    # -- memory resolution ---------------------------------------------------
-
-    def _resolve_touch(
-        self, touch: Touch, gpm_id: int
-    ) -> Tuple[float, Dict[int, float]]:
-        """Split one touch into (local DRAM bytes, {peer: link bytes}).
-
-        Local slices are filtered by the memory-side L2 (stream collapses
-        towards the unique footprint); remote slices are filtered only by
-        the remote cache and consume both the link and the owner's DRAM.
-        """
-        fractions = self.placement.owner_fractions(touch.resource, gpm_id)
-        traffic = _KIND_TO_TRAFFIC[touch.resource.kind]
-        local_bytes = 0.0
-        remote: Dict[int, float] = {}
-        for owner, fraction in fractions.items():
-            stream = touch.stream_bytes * fraction
-            unique = touch.unique_bytes * fraction
-            writes = touch.write_bytes * fraction
-            if owner == gpm_id:
-                local_bytes += miss_bytes(
-                    stream, unique, float(self.config.gpm.l2_bytes)
-                ) + writes
-                continue
-            crossing = self.remote_caches[gpm_id].filter(stream, unique) + writes
-            if crossing > 0:
-                self.fabric.transfer(owner, gpm_id, crossing, traffic)
-                self.drams[owner].serve_remote(crossing)
-                remote[owner] = remote.get(owner, 0.0) + crossing
-                if self.remote_observer is not None:
-                    self.remote_observer(touch.resource, gpm_id, crossing)
-        if local_bytes > 0:
-            self.drams[gpm_id].read(local_bytes)
-        return local_bytes, remote
-
-    def _resolve_framebuffer(
-        self,
-        unit: WorkUnit,
-        gpm_id: int,
-        fb_targets: Optional[FramebufferTargets],
-    ) -> Tuple[float, Dict[int, float]]:
-        """Depth-test and colour-write traffic for ``unit``.
-
-        ``fb_targets`` maps owner GPMs to the fraction of this unit's
-        framebuffer region they hold; ``None`` means the render target
-        is private and local (sort-last worker buffers).
-        """
-        targets: FramebufferTargets = fb_targets or {gpm_id: 1.0}
-        local_bytes = 0.0
-        remote: Dict[int, float] = {}
-        z_write = unit.pixels_out * self.config.cost.bytes_per_ztest
-        for owner, fraction in targets.items():
-            z_stream = unit.z_stream_bytes * fraction
-            z_unique = unit.z_unique_bytes * fraction
-            color = unit.fb_write_bytes * fraction
-            z_w = z_write * fraction
-            if owner == gpm_id:
-                local_bytes += (
-                    miss_bytes(z_stream, z_unique, float(self.config.gpm.l2_bytes))
-                    + color
-                    + z_w
-                )
-                continue
-            crossing_z = self.remote_caches[gpm_id].filter(z_stream, z_unique)
-            if crossing_z > 0:
-                self.fabric.transfer(owner, gpm_id, crossing_z, TrafficType.ZTEST)
-                self.drams[owner].serve_remote(crossing_z)
-            writes = color + z_w
-            if writes > 0:
-                self.fabric.transfer(gpm_id, owner, writes, TrafficType.FRAMEBUFFER)
-                self.drams[owner].serve_remote(writes)
-            total = crossing_z + writes
-            if total > 0:
-                remote[owner] = remote.get(owner, 0.0) + total
-        if local_bytes > 0:
-            self.drams[gpm_id].write(local_bytes)
-        return local_bytes, remote
 
     # -- unit execution ------------------------------------------------------
 
@@ -200,70 +130,11 @@ class MultiGPUSystem:
         command_source: int = 0,
         start_at: Optional[float] = None,
     ) -> UnitExecution:
-        """Bind ``unit`` to GPM ``gpm_id`` and advance that GPM's clock."""
-        if not 0 <= gpm_id < self.num_gpms:
-            raise ValueError(f"GPM {gpm_id} out of range")
-        gpm = self.gpms[gpm_id]
-        breakdown = price_work_unit(unit, self.config.gpm, self.config.cost)
-
-        local_bytes = 0.0
-        link_bytes: Dict[int, float] = {}
-
-        def absorb(pair: Tuple[float, Dict[int, float]]) -> None:
-            nonlocal local_bytes
-            local_part, remote_part = pair
-            local_bytes += local_part
-            for peer, nbytes in remote_part.items():
-                link_bytes[peer] = link_bytes.get(peer, 0.0) + nbytes
-
-        for touch in unit.texture_touches:
-            absorb(self._resolve_touch(touch, gpm_id))
-        for touch in unit.vertex_touches:
-            absorb(self._resolve_touch(touch, gpm_id))
-        absorb(self._resolve_framebuffer(unit, gpm_id, fb_targets))
-
-        if unit.command_bytes > 0 and command_source != gpm_id:
-            self.fabric.transfer(
-                command_source, gpm_id, unit.command_bytes, TrafficType.COMMAND
-            )
-            link_bytes[command_source] = (
-                link_bytes.get(command_source, 0.0) + unit.command_bytes
-            )
-
-        dram_cycles = local_bytes / self.config.gpm.dram_bytes_per_cycle
-        link_cycles = 0.0
-        if link_bytes:
-            # Hop count is 1 on the paper's dedicated pairwise fabric.
-            # On routed fabrics (ring/switch) a transfer loads every
-            # link on its route; bytes x hops is the standard proxy for
-            # the bandwidth that wire load steals from concurrent flows,
-            # and per-hop latency stacks.
-            link_cycles = max(
-                nbytes
-                * self.fabric.hops(peer, gpm_id)
-                / self.config.link.bytes_per_cycle
-                + self.config.link.latency_cycles
-                * self.fabric.hops(peer, gpm_id)
-                for peer, nbytes in link_bytes.items()
-            )
-        compute = breakdown.compute_cycles
-        cycles = max(compute, dram_cycles, link_cycles)
-        gpm.run(unit.label, cycles, start_at=start_at)
-        gpm.record_progress(unit.vertices, unit.pixels_out, unit.triangles_raster)
-        return UnitExecution(
-            gpm=gpm_id,
-            compute_cycles=compute,
-            local_dram_cycles=dram_cycles,
-            link_cycles=link_cycles,
-            cycles=cycles,
-            remote_bytes=sum(link_bytes.values()),
-            bottleneck=(
-                "link"
-                if cycles == link_cycles and link_cycles > compute
-                else ("dram" if cycles == dram_cycles and dram_cycles > compute
-                      else breakdown.bottleneck)
-            ),
+        """Bind ``unit`` to GPM ``gpm_id`` and schedule it on the engine."""
+        resolved = self.engine.bind(
+            unit, gpm_id, fb_targets=fb_targets, command_source=command_source
         )
+        return self.engine.execute(resolved, start_at=start_at)
 
     # -- frame orchestration ---------------------------------------------------
 
@@ -299,9 +170,20 @@ class MultiGPUSystem:
         self._accounting.composition_cycles += cycles
 
     def frame_result(self, framework: str, workload: str) -> FrameResult:
-        """Roll the current frame's state into a result record."""
-        busy = [gpm.busy_cycles for gpm in self.gpms]
-        render_critical_path = max(gpm.ready_at for gpm in self.gpms)
+        """Roll the current frame's state into a result record.
+
+        The engine finalises the frame into a
+        :class:`~repro.engine.trace.FrameTrace` (kept on
+        :attr:`last_trace`): the analytic engine reports its scheduling
+        clock verbatim, the event engine replays the schedule through
+        its contention-aware simulation.  Byte counters (traffic, DRAM,
+        residency) come straight from the machine and are identical
+        under every engine.
+        """
+        trace = self.engine.finish_frame()
+        self.last_trace = trace
+        busy = list(trace.gpm_busy)
+        render_critical_path = trace.render_critical_path
         cycles = render_critical_path + self._accounting.composition_cycles
         return FrameResult(
             framework=framework,

@@ -55,6 +55,9 @@ class LinkFabric:
         self.bytes_per_cycle = bytes_per_cycle
         self.latency_cycles = latency_cycles
         self._links: Dict[Tuple[int, int], LinkStats] = {}
+        #: Lazily built (src, dst) -> hop-count table; topology is fixed
+        #: at construction, so routes never change after the first use.
+        self._hop_matrix: Tuple[Tuple[int, ...], ...] = ()
 
     def _check(self, gpm: int) -> None:
         if not 0 <= gpm < self.num_gpms:
@@ -107,14 +110,32 @@ class LinkFabric:
             s.bytes_total for (src, dst), s in self._links.items() if src == gpm
         )
 
+    def route(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """The physical hop list a ``src -> dst`` transfer crosses.
+
+        The base fabric is fully connected (dedicated pairwise links),
+        so every remote transfer is the single direct hop; routed
+        topologies (:class:`~repro.extensions.topology.RoutedLinkFabric`)
+        override this with multi-hop walks.
+        """
+        return [] if src == dst else [(src, dst)]
+
     def hops(self, src: int, dst: int) -> int:
         """Physical links a ``src -> dst`` transfer crosses.
 
-        The base fabric is fully connected (dedicated pairwise links),
-        so every remote transfer is one hop; routed topologies override
-        this and the unit-pricing model multiplies link time by it.
+        Unit pricing multiplies link time by this in its hottest inner
+        loop, so hop counts come from a precomputed matrix rather than
+        re-walking :meth:`route` (which costs a topology walk per call
+        on routed fabrics) for every (unit, peer) pair.
         """
-        return 0 if src == dst else 1
+        if not self._hop_matrix:
+            self._hop_matrix = tuple(
+                tuple(
+                    len(self.route(s, d)) for d in range(self.num_gpms)
+                )
+                for s in range(self.num_gpms)
+            )
+        return self._hop_matrix[src][dst]
 
     def busiest_pair_cycles(self) -> float:
         """Cycles the most-loaded directional link spent transferring."""

@@ -47,10 +47,17 @@ def config_fingerprint(spec: RunSpec) -> Optional[Dict[str, object]]:
     ``config_label`` is cosmetic (two labels may name the same config,
     one label may name two), so the cache keys on the configuration's
     actual values instead; ``None`` means the Table 2 default.
+
+    The default ``analytic`` engine is elided from the fingerprint so
+    every pre-engine cache entry keeps its address: only a non-default
+    ``engine`` changes the key.
     """
     if spec.config is None:
         return None
-    return dataclasses.asdict(spec.config)
+    data = dataclasses.asdict(spec.config)
+    if data.get("engine") == "analytic":
+        del data["engine"]
+    return data
 
 
 def spec_key(spec: RunSpec) -> str:
@@ -58,7 +65,11 @@ def spec_key(spec: RunSpec) -> str:
 
     Covers every :meth:`RunSpec.record_fields
     <repro.session.spec.RunSpec.record_fields>` column except the
-    cosmetic ``config_label``, plus the full config fingerprint.
+    cosmetic ``config_label``, plus the full config fingerprint, plus
+    the execution engine when it is not the default — ``engine=`` is
+    part of the spec fingerprint, so analytic and event results never
+    collide, while caches written before the engine layer existed still
+    hit for analytic runs.
     """
     identity = spec.record_fields()
     identity.pop("config_label", None)
@@ -67,6 +78,12 @@ def spec_key(spec: RunSpec) -> str:
         "spec": identity,
         "config": config_fingerprint(spec),
     }
+    # Key on the engine that actually prices the cell (field >
+    # variant modifier > config — :meth:`RunSpec.effective_engine`),
+    # so an explicit analytic override of an ``:engine=event`` variant
+    # never collides with the event cell it overrides.
+    if spec.effective_engine != "analytic":
+        payload["engine"] = spec.effective_engine
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -166,6 +183,9 @@ class ResultCache:
             "config": config_fingerprint(spec),
             "result": result.to_dict(include_frames=True),
         }
+        if spec.effective_engine != "analytic":
+            # Auditability only — the engine is already part of the key.
+            entry["engine"] = spec.effective_engine
         path = self.path_for(spec)
         handle = tempfile.NamedTemporaryFile(
             "w",

@@ -51,21 +51,27 @@ class ResultSet:
     def select(self, **where: object) -> "ResultSet":
         """The subset whose record fields equal every ``where`` item.
 
-        ``where`` keys must be real spec identity columns — a typo like
-        ``framwork="oo-vr"`` raises instead of silently matching
-        nothing.
+        ``where`` keys must be real spec identity columns (plus
+        ``engine``) — a typo like ``framwork="oo-vr"`` raises instead
+        of silently matching nothing.
         """
-        unknown = sorted(key for key in where if key not in RECORD_FIELDS)
+        valid = (*RECORD_FIELDS, "engine")
+        unknown = sorted(key for key in where if key not in valid)
         if unknown:
             raise KeyError(
                 f"unknown record field(s) {unknown}; "
-                f"valid fields: {list(RECORD_FIELDS)}"
+                f"valid fields: {list(valid)}"
             )
         kept = [
             (spec, result)
             for spec, result in self._runs
             if all(
-                spec.record_fields()[key] == value
+                (
+                    spec.effective_engine
+                    if key == "engine"
+                    else spec.record_fields()[key]
+                )
+                == value
                 for key, value in where.items()
             )
         ]
@@ -108,13 +114,22 @@ class ResultSet:
         """One flat dict per run: spec identity + scene summary metrics.
 
         Traffic is flattened into one ``traffic_<type>`` column per
-        :class:`TrafficType` so every record has identical keys.
+        :class:`TrafficType` so every record has identical keys.  An
+        ``engine`` column is added as soon as *any* run in the set was
+        priced by a non-default engine, so mixed-engine sweeps keep
+        their provenance while default sweeps export byte-identically
+        to the pre-engine layout.
         """
+        include_engine = any(
+            spec.effective_engine != "analytic" for spec, _ in self._runs
+        )
         records: List[Dict[str, object]] = []
         for spec, result in self._runs:
             summary = result.to_dict(include_frames=False)
             traffic = summary.pop("traffic")
             record = spec.record_fields()
+            if include_engine:
+                record["engine"] = spec.effective_engine
             for key, value in summary.items():
                 if key not in record:  # spec identity wins on overlap
                     record[key] = value

@@ -60,6 +60,23 @@ class _ScaleMixin:
         self._num_frames: int = DEFAULT_FRAMES
         self._seed: int = DEFAULT_SEED
         self._draw_scale: float = 1.0
+        self._engine: Optional[str] = None
+
+    def engine(self, name: str):
+        """Select the execution engine (``analytic``/``event``) for
+        every cell this builder produces (see :mod:`repro.engine`).
+        An explicit selection — including ``analytic`` — overrides a
+        variant- or config-chosen engine; part of the spec's cache
+        fingerprint when it names a non-analytic engine.
+        """
+        from repro.engine import EngineError, validate_engine_name
+
+        try:
+            validate_engine_name(name)
+        except EngineError as error:
+            raise SessionError(str(error)) from error
+        self._engine = name
+        return self
 
     def frames(self, num_frames: int):
         if num_frames < 1:
@@ -145,6 +162,7 @@ class Session(_ScaleMixin):
             seed=self._seed,
             draw_scale=self._draw_scale,
             config_label=label,
+            engine=self._engine,
         ).validate()
 
     def scene(self) -> Scene:
@@ -165,11 +183,15 @@ class Session(_ScaleMixin):
         return probe.scene()
 
     def run(self) -> SceneResult:
-        """Execute the run and return its :class:`SceneResult`."""
-        from repro.frameworks.base import build_framework
+        """Execute the run and return its :class:`SceneResult`.
 
+        Unlike :meth:`RunSpec.execute <repro.session.spec.RunSpec.execute>`
+        (which worker processes call), the framework instance is kept on
+        :attr:`last_framework` for introspection — dispatch records,
+        ``last_system.last_trace``.
+        """
         spec = self.spec()
-        framework = build_framework(spec.framework, spec.config)
+        framework = spec.build()
         self.last_framework = framework
         return framework.render_scene(spec.scene())
 
@@ -240,6 +262,7 @@ class Sweep(_ScaleMixin):
                             seed=self._seed,
                             draw_scale=self._draw_scale,
                             config_label=label,
+                            engine=self._engine,
                         ).validate()
                     )
         return out

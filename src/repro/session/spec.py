@@ -107,9 +107,17 @@ class RunSpec:
     draw_scale: float = 1.0
     #: Label identifying the config axis in records (e.g. "64GB/s").
     config_label: str = "base"
+    #: Execution engine pricing the cell (see :mod:`repro.engine`).
+    #: ``None`` (the default) defers to the framework's own selection
+    #: (variant modifier or config engine, else ``"analytic"``); an
+    #: explicit name — including ``"analytic"`` — overrides it.  Part
+    #: of the spec's cache fingerprint when it names a non-analytic
+    #: engine.
+    engine: Optional[str] = None
 
     def validate(self) -> "RunSpec":
         """Check the spec against the registries; return it for chaining."""
+        from repro.engine import EngineError, validate_engine_name
         from repro.frameworks.base import validate_framework_name
 
         try:
@@ -124,6 +132,11 @@ class RunSpec:
             parse_workload(self.workload)
         except KeyError as error:
             raise SpecError(f"unknown workload: {error.args[0]}") from error
+        if self.engine is not None:
+            try:
+                validate_engine_name(self.engine)
+            except EngineError as error:
+                raise SpecError(str(error)) from error
         if self.num_frames < 1:
             raise SpecError("need at least one frame")
         if self.draw_scale <= 0:
@@ -153,12 +166,53 @@ class RunSpec:
             self.workload, self.num_frames, self.seed, self.draw_scale
         )
 
-    def execute(self) -> SceneResult:
-        """Render this cell: fresh framework, memoised scene."""
+    @property
+    def effective_engine(self) -> str:
+        """The engine that actually prices this cell.
+
+        The engine can be chosen three ways; precedence mirrors how
+        :meth:`build` layers them: an explicit :attr:`engine` field
+        (even ``"analytic"``) overrides everything, else the last
+        ``engine=`` modifier in a variant framework name
+        (``oo-vr:engine=event`` — applied after construction by the
+        variant builder), else the config's ``engine``.  Result
+        provenance (``ResultSet`` records and ``select(engine=...)``)
+        keys on this, not the raw field.
+        """
+        from repro.frameworks.variants import engine_modifier
+
+        if self.engine is not None:
+            return self.engine
+        chosen = engine_modifier(self.framework)
+        if chosen is not None:
+            return chosen
+        if self.config is not None:
+            return self.config.engine
+        return "analytic"
+
+    def build(self):
+        """The framework instance this spec describes, engine applied.
+
+        An explicit :attr:`engine` overrides the built framework's
+        config engine *after* construction — so ``engine="analytic"``
+        really does force the analytic model even on an
+        ``:engine=event`` variant, while the ``None`` default leaves
+        the framework's own selection alone (schemes that transform
+        their config — e.g. ``1tbs-bw`` — keep doing so).  The single
+        construction path shared by :meth:`execute` (worker processes)
+        and :meth:`Session.run <repro.session.session.Session.run>`
+        (which keeps the instance for introspection).
+        """
         from repro.frameworks.base import build_framework
 
         framework = build_framework(self.framework, self.config)
-        return framework.render_scene(self.scene())
+        if self.engine is not None:
+            framework.config = framework.config.with_engine(self.engine)
+        return framework
+
+    def execute(self) -> SceneResult:
+        """Render this cell: fresh framework, memoised scene."""
+        return self.build().render_scene(self.scene())
 
     def record_fields(self) -> dict:
         """The spec's identity columns of a tidy result record."""

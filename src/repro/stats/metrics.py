@@ -16,7 +16,21 @@ from repro.memory.link import TrafficType
 
 @dataclass(frozen=True)
 class UnitExecution:
-    """Outcome of one work unit on one GPM."""
+    """Outcome of one work unit on one GPM.
+
+    ``bottleneck`` names the resource that bounded the unit, with a
+    deterministic precedence on exact ties (see
+    :func:`repro.engine.base.classify_bottleneck`):
+
+    1. ``"link"`` when the unit time equals the link time and the links
+       are slower than compute — equal DRAM/link cycles resolve to
+       ``"link"``, the scarcer resource;
+    2. ``"dram"`` when the unit time equals the local DRAM time and
+       DRAM is slower than compute;
+    3. otherwise the slowest *compute* stage (``"vertex"``, ``"setup"``,
+       ``"raster"``, ``"fragment"``, ``"texture"`` or ``"rop"``) —
+       including when memory time exactly ties compute time.
+    """
 
     gpm: int
     compute_cycles: float

@@ -1,26 +1,70 @@
-"""ASCII dispatch timelines (per-GPM Gantt charts).
+"""ASCII timelines (per-GPM Gantt charts).
 
-The distribution engine keeps an audit record per batch dispatch
-(:class:`~repro.core.distribution.DispatchRecord`).  This module draws
-those records as a per-GPM timeline so load balance — the thing
-Figs. 10 and 15 are about — can be *seen*:
+Two renderers:
+
+- :func:`trace_timeline` draws a real
+  :class:`~repro.engine.trace.FrameTrace` — the intervals an execution
+  engine actually produced, including the idle gaps and the
+  contention-stretched spans the event engine simulates;
+- :func:`dispatch_timeline` draws the distribution engine's audit
+  records (:class:`~repro.core.distribution.DispatchRecord`), laying
+  batches end to end in dispatch order — an approximation that predates
+  real traces, still useful for eyeballing dispatch decisions.
+
+Both make load balance — the thing Figs. 10 and 15 are about —
+*visible*:
 
 .. code-block:: text
 
     GPM0 |■■■■■■■□□□□□■■■■■■■■■■■·····|  71% busy
     GPM1 |■■■■■■■■■■■■■■■■■■■■■■■■■■■■|  99% busy
-
-``■`` cells are calibration/prediction batches, ``□`` marks the batch
-currently rendering when the cell starts, ``·`` is idle tail.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Sequence
 
 from repro.core.distribution import DispatchRecord
 
-__all__ = ["dispatch_timeline"]
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.engine.trace import FrameTrace
+
+__all__ = ["dispatch_timeline", "trace_timeline"]
+
+#: Glyph per trace-interval kind (render / staging stall / steal slice).
+_KIND_GLYPHS = {"render": "█", "stall": "▒", "steal": "◆"}
+
+
+def trace_timeline(trace: "FrameTrace", width: int = 60) -> str:
+    """Render a :class:`~repro.engine.trace.FrameTrace` as GPM rows.
+
+    Every interval lands where the engine timed it, so idle bubbles
+    show up in place (unlike :func:`dispatch_timeline`'s end-to-end
+    packing).  Busy percentages are occupied cycles over the render
+    critical path.
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10 columns")
+    if not trace.intervals:
+        raise ValueError("trace has no intervals to draw")
+    horizon = trace.render_critical_path or 1.0
+    scale = width / horizon
+    lines = []
+    for gpm in range(trace.num_gpms):
+        cells = ["·"] * width
+        for span in trace.intervals_for(gpm):
+            lo = int(span.start * scale)
+            hi = max(lo + 1, int(span.end * scale))
+            glyph = _KIND_GLYPHS.get(span.kind, "█")
+            for cell in range(lo, min(hi, width)):
+                cells[cell] = glyph
+        busy = 100.0 * trace.utilisation(gpm)
+        lines.append(f"GPM{gpm} |{''.join(cells)}| {busy:3.0f}% busy")
+    lines.append(
+        f"{'':5} █ render   ▒ staging stall   ◆ stolen slice   · idle"
+        f"   ({trace.engine} engine)"
+    )
+    return "\n".join(lines)
 
 
 def dispatch_timeline(

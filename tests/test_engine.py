@@ -1,0 +1,701 @@
+"""The pluggable execution-engine layer (repro.engine).
+
+Covers the engine interface and both implementations, the selection
+plumbing (config, spec, session, variant grammar, cache key), the
+conservation guarantees between engines, and the contention study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import ConfigError, baseline_system
+from repro.engine import (
+    ENGINE_DEFAULT,
+    ENGINE_NAMES,
+    AnalyticEngine,
+    EngineError,
+    EventEngine,
+    build_engine,
+    classify_bottleneck,
+    validate_engine_name,
+)
+from repro.frameworks.base import build_framework
+from repro.gpu.system import MultiGPUSystem
+from repro.pipeline.characterize import DrawCharacterizer
+from repro.pipeline.smp import SMPMode
+from repro.scene.scene import Scene
+from repro.session import Session, SessionError, Sweep
+from repro.session.cache import ResultCache, config_fingerprint, spec_key
+from repro.session.spec import FAST, RunSpec, SpecError
+from tests.conftest import MB, make_object
+
+
+def unit_for(characterizer, pool, object_id=0, **kwargs):
+    return characterizer.characterize(
+        make_object(object_id, pool, **kwargs).multiview_draw(),
+        mode=SMPMode.SIMULTANEOUS,
+    )
+
+
+@pytest.fixture
+def characterizer(config):
+    return DrawCharacterizer(config)
+
+
+def fast_scene(workload="HL2-640"):
+    from repro.session.spec import cached_scene
+
+    return cached_scene(workload, 2, 2019, 0.15)
+
+
+# ---------------------------------------------------------------------------
+# Registry and selection plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestEngineSelection:
+    def test_registry_names(self):
+        assert ENGINE_DEFAULT == "analytic"
+        assert set(ENGINE_NAMES) == {"analytic", "event"}
+        with pytest.raises(EngineError):
+            validate_engine_name("bogus")
+
+    def test_system_builds_configured_engine(self, config):
+        assert isinstance(MultiGPUSystem(config).engine, AnalyticEngine)
+        event_system = MultiGPUSystem(config.with_engine("event"))
+        assert isinstance(event_system.engine, EventEngine)
+
+    def test_config_rejects_unknown_engine(self, config):
+        with pytest.raises(ConfigError):
+            replace(config, engine="bogus").validate()
+
+    def test_build_engine_rejects_unknown(self, config):
+        with pytest.raises(EngineError):
+            build_engine("bogus", MultiGPUSystem(config))
+
+    def test_runspec_engine_validation(self):
+        spec = RunSpec(framework="baseline", workload="WE", engine="event")
+        assert spec.validate() is spec
+        with pytest.raises(SpecError):
+            RunSpec(
+                framework="baseline", workload="WE", engine="bogus"
+            ).validate()
+
+    def test_session_engine_knob(self):
+        spec = (
+            Session()
+            .framework("baseline")
+            .workload("WE")
+            .fast()
+            .engine("event")
+            .spec()
+        )
+        assert spec.engine == "event"
+        with pytest.raises(SessionError):
+            Session().engine("bogus")
+
+    def test_sweep_engine_knob(self):
+        specs = (
+            Sweep()
+            .frameworks("baseline")
+            .workloads("WE")
+            .fast()
+            .engine("event")
+            .specs()
+        )
+        assert all(spec.engine == "event" for spec in specs)
+
+    def test_variant_grammar_selects_engine(self):
+        framework = build_framework("oo-vr:engine=event")
+        assert framework.config.engine == "event"
+        assert framework.name == "oo-vr:engine=event"
+        # Stacks with other wrapper modifiers on any base.
+        framework = build_framework("baseline:topo=ring:engine=event")
+        assert framework.config.engine == "event"
+        with pytest.raises(KeyError):
+            build_framework("baseline:engine=bogus")
+
+    def test_session_run_applies_engine(self):
+        session = (
+            Session()
+            .framework("baseline")
+            .workload("HL2-640")
+            .frames(1)
+            .scale(0.1)
+            .engine("event")
+        )
+        session.run()
+        assert session.last_framework.config.engine == "event"
+        trace = session.last_framework.last_system.last_trace
+        assert trace is not None and trace.engine == "event"
+
+    def test_runspec_execute_applies_engine(self):
+        spec = RunSpec(
+            framework="baseline",
+            workload="HL2-640",
+            num_frames=1,
+            draw_scale=0.1,
+            engine="event",
+        ).validate()
+        assert spec.build().config.engine == "event"
+        result = spec.execute()
+        assert result.single_frame_cycles > 0
+
+    def test_records_carry_engine_only_in_mixed_sweeps(self):
+        grid = (
+            Sweep()
+            .frameworks("baseline")
+            .workloads("HL2-640")
+            .frames(1)
+            .scale(0.1)
+        )
+        analytic = grid.run()
+        assert "engine" not in analytic.to_records()[0]
+        event = (
+            Sweep()
+            .frameworks("baseline")
+            .workloads("HL2-640")
+            .frames(1)
+            .scale(0.1)
+            .engine("event")
+            .run()
+        )
+        record = event.to_records()[0]
+        assert record["engine"] == "event"
+        assert event.select(engine="event").results == event.results
+        assert len(event.select(engine="analytic")) == 0
+        with pytest.raises(KeyError):
+            event.select(enigne="event")
+
+    def test_effective_engine_sees_variant_and_config_selection(self):
+        variant = RunSpec(framework="oo-vr:engine=event", workload="WE")
+        assert variant.effective_engine == "event"
+        config = RunSpec(
+            framework="baseline",
+            workload="WE",
+            config=baseline_system().with_engine("event"),
+        )
+        assert config.effective_engine == "event"
+        # An explicit field — even "analytic" — wins over both, so the
+        # paper's model can be forced back onto an :engine=event
+        # variant (oovr run ... --engine analytic).
+        forced = replace(variant, engine="analytic")
+        assert forced.effective_engine == "analytic"
+        assert forced.build().config.engine == "analytic"
+        plain = RunSpec(framework="baseline", workload="WE")
+        assert plain.effective_engine == "analytic"
+        # Mixed sweeps spelled through the variant grammar also get
+        # the provenance column.
+        mixed = (
+            Sweep()
+            .frameworks("baseline", "baseline:engine=event")
+            .workloads("HL2-640")
+            .frames(1)
+            .scale(0.1)
+            .run()
+        )
+        records = mixed.to_records()
+        assert [r["engine"] for r in records] == ["analytic", "event"]
+        assert len(mixed.select(engine="event")) == 1
+
+
+# ---------------------------------------------------------------------------
+# Cache-key stability
+# ---------------------------------------------------------------------------
+
+
+class TestEngineCacheKey:
+    #: Key of (oo-vr:no-dhc, HL2-1280, fast, default config) computed by
+    #: the pre-engine cache code — the engine layer must not move
+    #: existing analytic entries.
+    GOLDEN_SPEC = RunSpec(
+        framework="oo-vr:no-dhc",
+        workload="HL2-1280",
+        num_frames=2,
+        seed=2019,
+        draw_scale=0.15,
+    )
+    GOLDEN_KEY = (
+        "29fe11ab625742fd80165f95a828a51175f835b4512f5a7dae755ff40e1263ca"
+    )
+
+    def test_analytic_keys_unchanged_from_pre_engine_cache(self):
+        assert spec_key(self.GOLDEN_SPEC) == self.GOLDEN_KEY
+
+    def test_event_engine_changes_the_key(self):
+        assert (
+            spec_key(replace(self.GOLDEN_SPEC, engine="event"))
+            != self.GOLDEN_KEY
+        )
+
+    def test_analytic_override_never_collides_with_event_cell(self):
+        # An :engine=event variant cell and the same cell forced back
+        # to analytic price differently, so they must cache apart.
+        variant = RunSpec(framework="oo-vr:engine=event", workload="WE")
+        forced = replace(variant, engine="analytic")
+        assert variant.effective_engine != forced.effective_engine
+        assert spec_key(variant) != spec_key(forced)
+        # Forcing analytic restores the plain cell's pricing but keeps
+        # its own key (the framework name is part of the identity).
+        config_event = RunSpec(
+            framework="baseline",
+            workload="WE",
+            config=baseline_system().with_engine("event"),
+        )
+        assert spec_key(config_event) != spec_key(
+            replace(config_event, engine="analytic")
+        )
+
+    def test_default_engine_elided_from_config_fingerprint(self):
+        spec = replace(self.GOLDEN_SPEC, config=baseline_system())
+        assert "engine" not in config_fingerprint(spec)
+        event_cfg = baseline_system().with_engine("event")
+        fingerprint = config_fingerprint(replace(spec, config=event_cfg))
+        assert fingerprint["engine"] == "event"
+
+    def test_config_engine_changes_the_key(self):
+        base = replace(self.GOLDEN_SPEC, config=baseline_system())
+        event = replace(
+            self.GOLDEN_SPEC, config=baseline_system().with_engine("event")
+        )
+        assert spec_key(base) != spec_key(event)
+
+    def test_cache_round_trips_event_results(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec(
+            framework="baseline",
+            workload="HL2-640",
+            num_frames=1,
+            draw_scale=0.1,
+            engine="event",
+        ).validate()
+        result = spec.execute()
+        cache.put(spec, result)
+        again = cache.get(spec)
+        assert again is not None
+        assert again.to_dict() == result.to_dict()
+        # The analytic twin is a different cell entirely.
+        assert cache.get(replace(spec, engine="analytic")) is None
+
+
+# ---------------------------------------------------------------------------
+# Bottleneck classification (deterministic tie-breaking)
+# ---------------------------------------------------------------------------
+
+
+class TestBottleneckTieBreaking:
+    def test_link_wins_dram_tie(self):
+        # Equal dram/link cycles, both above compute: link by precedence.
+        assert classify_bottleneck(10.0, 50.0, 50.0, 50.0, "fragment") == "link"
+
+    def test_dram_wins_when_strictly_slowest(self):
+        assert classify_bottleneck(10.0, 50.0, 20.0, 50.0, "fragment") == "dram"
+
+    def test_compute_wins_exact_memory_tie(self):
+        # Memory exactly equal to compute: the compute stage is charged.
+        assert (
+            classify_bottleneck(50.0, 50.0, 50.0, 50.0, "texture") == "texture"
+        )
+
+    def test_compute_bottleneck_passthrough(self):
+        assert classify_bottleneck(50.0, 1.0, 2.0, 50.0, "vertex") == "vertex"
+
+    def test_execution_matches_classifier(self, config, characterizer, pool):
+        system = MultiGPUSystem(config)
+        system.begin_frame()
+        unit = unit_for(characterizer, pool)
+        for touch in unit.texture_touches:
+            system.placement.place_fixed(touch.resource, 1)
+        execution = system.execute_unit(unit, 0, fb_targets={0: 1.0})
+        assert execution.bottleneck == classify_bottleneck(
+            execution.compute_cycles,
+            execution.local_dram_cycles,
+            execution.link_cycles,
+            execution.cycles,
+            execution.bottleneck,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Hop matrix
+# ---------------------------------------------------------------------------
+
+
+class TestHopMatrix:
+    def test_base_fabric_hops(self, config):
+        fabric = MultiGPUSystem(config).fabric
+        assert fabric.hops(0, 0) == 0
+        assert fabric.hops(0, 3) == 1
+        assert fabric.route(1, 2) == [(1, 2)]
+
+    def test_routed_fabric_matrix_matches_routes(self, config):
+        from repro.extensions.topology import Topology, install_topology
+
+        system = MultiGPUSystem(config)
+        install_topology(system, Topology.RING)
+        fabric = system.fabric
+        for src in range(4):
+            for dst in range(4):
+                assert fabric.hops(src, dst) == len(fabric.route(src, dst))
+        # Opposite corners of a 4-ring are two hops apart.
+        assert fabric.hops(0, 2) == 2
+
+    def test_switch_routes_are_two_hops(self, config):
+        from repro.extensions.topology import Topology, install_topology
+
+        system = MultiGPUSystem(config)
+        install_topology(system, Topology.SWITCH)
+        assert system.fabric.hops(0, 3) == 2
+        assert system.fabric.route(0, 3) == [(0, 4), (4, 3)]
+
+
+# ---------------------------------------------------------------------------
+# Analytic engine traces
+# ---------------------------------------------------------------------------
+
+
+class TestAnalyticTrace:
+    def test_trace_mirrors_gpm_state(self, config, characterizer, pool):
+        system = MultiGPUSystem(config)
+        system.begin_frame()
+        units = [unit_for(characterizer, pool, i) for i in range(4)]
+        system.run_queues([[units[0]], [units[1]], [units[2]], [units[3]]])
+        result = system.frame_result("t", "w")
+        trace = system.last_trace
+        assert trace is not None and trace.engine == "analytic"
+        assert list(trace.gpm_busy) == [g.busy_cycles for g in system.gpms]
+        assert trace.render_critical_path == max(
+            g.ready_at for g in system.gpms
+        )
+        assert result.cycles >= trace.render_critical_path
+        assert len(trace.intervals) == 4
+        assert all(span.kind == "render" for span in trace.intervals)
+
+    def test_stall_and_steal_intervals(self, config):
+        system = MultiGPUSystem(config)
+        system.begin_frame()
+        engine = system.engine
+        engine.stall(0, "stage", 100.0)
+        engine.steal_into(1, 0, "steal-from-1", 50.0, 640.0)
+        trace = engine.finish_frame()
+        kinds = {span.kind for span in trace.intervals}
+        assert kinds == {"stall", "steal"}
+        assert system.gpms[0].ready_at == pytest.approx(150.0)
+        from repro.memory.link import TrafficType
+
+        assert system.fabric.bytes_by_type()[TrafficType.STEAL] == 640.0
+
+    def test_shed_tail_rewinds_clock(self, config):
+        system = MultiGPUSystem(config)
+        system.begin_frame()
+        engine = system.engine
+        engine.stall(2, "work", 200.0)
+        engine.shed_tail(2, 60.0)
+        assert system.gpms[2].ready_at == pytest.approx(140.0)
+        assert system.gpms[2].busy_cycles == pytest.approx(140.0)
+
+    def test_shed_tail_clips_trace_intervals(self, config):
+        system = MultiGPUSystem(config)
+        system.begin_frame()
+        engine = system.engine
+        engine.stall(2, "a", 100.0)
+        engine.stall(2, "b", 100.0)
+        engine.shed_tail(2, 120.0)  # drops "b", clips "a" to 80
+        trace = engine.finish_frame()
+        spans = trace.intervals_for(2)
+        assert [span.label for span in spans] == ["a"]
+        assert spans[0].end == pytest.approx(80.0)
+        assert spans[0].end <= trace.gpm_end[2]
+
+    def test_analytic_trace_consistent_after_stealing(self):
+        """Regression: stolen tails used to leave overrunning intervals."""
+        from repro.core.oovr import OOVRFramework
+        from repro.scene.benchmarks import make_benchmark_scene
+
+        framework = OOVRFramework()
+        framework.render_scene(
+            make_benchmark_scene("HL2-640", num_frames=2, draw_scale=0.05)
+        )
+        trace = framework.last_system.last_trace
+        for gpm in range(trace.num_gpms):
+            for span in trace.intervals_for(gpm):
+                assert span.end <= trace.gpm_end[gpm] + 1e-6
+
+    def test_next_idle_prefers_lowest_id_on_ties(self, config):
+        system = MultiGPUSystem(config)
+        system.begin_frame()
+        assert system.engine.next_idle() == 0
+        system.engine.stall(0, "w", 10.0)
+        assert system.engine.next_idle() == 1
+
+    def test_completion_callbacks_fire_in_order(
+        self, config, characterizer, pool
+    ):
+        system = MultiGPUSystem(config)
+        system.begin_frame()
+        seen = []
+        system.engine.on_complete(
+            lambda resolved, execution: seen.append(
+                (resolved.label, execution.cycles)
+            )
+        )
+        unit = unit_for(characterizer, pool)
+        execution = system.execute_unit(unit, 0, fb_targets={0: 1.0})
+        assert seen == [(unit.label, execution.cycles)]
+        # begin_frame drops subscriptions.
+        system.begin_frame()
+        system.execute_unit(unit, 0, fb_targets={0: 1.0})
+        assert len(seen) == 1
+
+
+# ---------------------------------------------------------------------------
+# Event engine
+# ---------------------------------------------------------------------------
+
+
+class TestEventEngine:
+    def test_conservation_single_gpm(self):
+        """Acceptance: contention-free single-GPM totals match exactly."""
+        scene = fast_scene()
+        cfg = baseline_system(num_gpms=1)
+        analytic = build_framework("baseline", cfg).render_scene(scene)
+        event = build_framework(
+            "baseline", cfg.with_engine("event")
+        ).render_scene(scene)
+        for a_frame, e_frame in zip(analytic.frames, event.frames):
+            # Per-GPM busy cycles conserved...
+            assert e_frame.gpm_busy_cycles[0] == pytest.approx(
+                a_frame.gpm_busy_cycles[0], rel=1e-9
+            )
+            # ... and per-link transferred bytes (none on one GPM, and
+            # byte accounting is engine-independent by construction).
+            assert e_frame.inter_gpm_bytes == a_frame.inter_gpm_bytes == 0.0
+            assert list(e_frame.dram_bytes) == list(a_frame.dram_bytes)
+
+    @pytest.mark.parametrize("framework", ["baseline", "oo-vr", "tile-v"])
+    def test_traffic_identical_across_engines(self, framework):
+        """Binding is shared: every byte counter agrees between engines."""
+        scene = fast_scene()
+        cfg = baseline_system()
+        analytic = build_framework(framework, cfg).render_scene(scene)
+        event = build_framework(
+            framework, cfg.with_engine("event")
+        ).render_scene(scene)
+        for a_frame, e_frame in zip(analytic.frames, event.frames):
+            assert e_frame.traffic.by_type == a_frame.traffic.by_type
+            assert list(e_frame.dram_bytes) == list(a_frame.dram_bytes)
+            assert e_frame.resident_bytes == a_frame.resident_bytes
+
+    def test_uncontended_matches_analytic_price(
+        self, config, characterizer, pool
+    ):
+        """A lone unit drains in exactly the analytic roofline time."""
+        system = MultiGPUSystem(config.with_engine("event"))
+        system.begin_frame()
+        unit = unit_for(characterizer, pool)
+        execution = system.execute_unit(unit, 0, fb_targets={0: 1.0})
+        trace = system.engine.finish_frame()
+        assert trace.engine == "event"
+        assert trace.gpm_end[0] == pytest.approx(execution.cycles, rel=1e-9)
+        assert trace.gpm_busy[0] == pytest.approx(execution.cycles, rel=1e-9)
+
+    def test_peer_dram_contention_stretches_frames(
+        self, characterizer, pool
+    ):
+        """Two GPMs streaming from one owner DRAM time-share it."""
+        from repro.config import GPMConfig
+
+        cfg = baseline_system()
+        starved = replace(
+            cfg, gpm=replace(cfg.gpm, dram_bytes_per_cycle=2.0)
+        )
+        analytic_sys = MultiGPUSystem(starved)
+        event_sys = MultiGPUSystem(starved.with_engine("event"))
+        for system in (analytic_sys, event_sys):
+            system.begin_frame()
+            units = [
+                unit_for(
+                    DrawCharacterizer(starved), pool, i, w=800.0, h=600.0
+                )
+                for i in range(2)
+            ]
+            # Both units read textures owned by GPM 0's DRAM.
+            for unit in units:
+                for touch in unit.texture_touches:
+                    if not system.placement.is_placed(touch.resource):
+                        system.placement.place_fixed(touch.resource, 0)
+            system.execute_unit(units[0], 1, fb_targets={1: 1.0})
+            system.execute_unit(units[1], 2, fb_targets={2: 1.0})
+        analytic_cp = analytic_sys.frame_result("a", "w").cycles
+        event_cp = event_sys.frame_result("e", "w").cycles
+        # The analytic model never bills the owner's DRAM; the event
+        # engine shares its 2 B/cycle between both remote streams.
+        assert event_cp > analytic_cp * 1.05
+
+    def test_switch_contention_stretches_frames(self, characterizer, pool):
+        """Flows sharing a switch port queue up under the event engine."""
+        scene = fast_scene()
+        cfg = baseline_system().with_link_bandwidth(16.0)
+        analytic = build_framework("baseline:topo=switch", cfg).render_scene(
+            scene
+        )
+        event = build_framework(
+            "baseline:topo=switch:engine=event", cfg
+        ).render_scene(scene)
+        assert (
+            event.single_frame_cycles
+            > analytic.single_frame_cycles * 1.2
+        )
+
+    def test_uncontended_multi_hop_matches_analytic_price(
+        self, characterizer, pool
+    ):
+        """Hop serialisation matches the analytic bytes x hops charge."""
+        from repro.extensions.topology import Topology, install_topology
+
+        cfg = baseline_system()
+        executions = {}
+        ends = {}
+        for engine_name in ("analytic", "event"):
+            system = MultiGPUSystem(cfg.with_engine(engine_name))
+            install_topology(system, Topology.SWITCH)
+            system.begin_frame()
+            unit = unit_for(characterizer, pool, w=800.0, h=600.0)
+            for touch in unit.texture_touches:
+                system.placement.place_fixed(touch.resource, 1)
+            executions[engine_name] = system.execute_unit(
+                unit, 0, fb_targets={0: 1.0}
+            )
+            ends[engine_name] = system.engine.finish_frame().gpm_end[0]
+        assert executions["analytic"].bottleneck == "link"
+        assert ends["event"] == pytest.approx(
+            executions["analytic"].cycles, rel=1e-9
+        )
+
+    def test_event_engine_deterministic(self):
+        scene = fast_scene()
+        cfg = baseline_system().with_engine("event")
+        first = build_framework("oo-vr", cfg).render_scene(scene)
+        second = build_framework("oo-vr", cfg).render_scene(scene)
+        assert first.to_dict() == second.to_dict()
+
+    def test_start_floor_delays_job(self, config, characterizer, pool):
+        system = MultiGPUSystem(config.with_engine("event"))
+        system.begin_frame()
+        unit = unit_for(characterizer, pool)
+        execution = system.execute_unit(
+            unit, 0, fb_targets={0: 1.0}, start_at=5000.0
+        )
+        trace = system.engine.finish_frame()
+        span = trace.intervals_for(0)[0]
+        assert span.start == pytest.approx(5000.0)
+        assert trace.gpm_end[0] == pytest.approx(
+            5000.0 + execution.cycles, rel=1e-9
+        )
+        # Busy time excludes the idle wait.
+        assert trace.gpm_busy[0] == pytest.approx(execution.cycles, rel=1e-9)
+
+    def test_zero_demand_job_does_not_block_its_gpm(self, config):
+        """An instantaneous unit hands the GPM on in the same window."""
+        system = MultiGPUSystem(config.with_engine("event"))
+        system.begin_frame()
+        engine = system.engine
+        engine.stall(1, "long", 1000.0)
+        engine.stall(0, "instant", 0.0)
+        engine.stall(0, "short", 100.0)
+        trace = engine.finish_frame()
+        assert trace.gpm_end[0] == pytest.approx(100.0)
+        assert trace.gpm_end[1] == pytest.approx(1000.0)
+
+    def test_finish_frame_is_repeatable(self, config, characterizer, pool):
+        system = MultiGPUSystem(config.with_engine("event"))
+        system.begin_frame()
+        system.execute_unit(
+            unit_for(characterizer, pool), 0, fb_targets={0: 1.0}
+        )
+        first = system.engine.finish_frame()
+        second = system.engine.finish_frame()
+        assert first.to_dict() == second.to_dict()
+
+    def test_trace_exports(self, config, characterizer, pool):
+        system = MultiGPUSystem(config.with_engine("event"))
+        system.begin_frame()
+        unit = unit_for(characterizer, pool)
+        system.placement.place_fixed(
+            unit.texture_touches[0].resource, 1
+        )
+        system.execute_unit(unit, 0, fb_targets={0: 1.0})
+        trace = system.engine.finish_frame()
+        data = trace.to_dict()
+        assert data["engine"] == "event"
+        assert data["num_gpms"] == 4
+        assert data["intervals"][0]["kind"] == "render"
+        assert trace.link_bytes()[(1, 0)] > 0
+        assert 0.0 <= trace.utilisation(0) <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Empty scenes (regression: used to ZeroDivisionError)
+# ---------------------------------------------------------------------------
+
+
+class TestEmptyScene:
+    def _empty_scene(self):
+        scene = Scene.__new__(Scene)
+        object.__setattr__(scene, "name", "empty")
+        object.__setattr__(scene, "frames", ())
+        return scene
+
+    @pytest.mark.parametrize("framework", ["baseline", "afr"])
+    def test_render_scene_raises_value_error(self, framework):
+        with pytest.raises(ValueError, match="scene has no frames"):
+            build_framework(framework).render_scene(self._empty_scene())
+
+    @pytest.mark.parametrize("framework", ["baseline", "afr"])
+    def test_frame_interval_raises_value_error(self, framework):
+        with pytest.raises(ValueError, match="scene has no frames"):
+            build_framework(framework).frame_interval_cycles([])
+
+
+# ---------------------------------------------------------------------------
+# The contention study
+# ---------------------------------------------------------------------------
+
+
+class TestEngineContentionStudy:
+    def test_runs_with_jobs_and_cache(self, tmp_path):
+        from repro.experiments.engines import engine_contention_study
+
+        cache = ResultCache(tmp_path)
+        figure = engine_contention_study(
+            FAST,
+            frameworks=("baseline", "baseline:topo=switch"),
+            link_bandwidths=(16.0,),
+            workloads=("HL2-640",),
+            jobs=2,
+            cache=cache,
+        )
+        assert set(figure.series) == {"baseline", "baseline:topo=switch"}
+        factors = figure.series
+        # Dedicated links barely contend; the shared switch queues.
+        assert factors["baseline"]["16GB/s"] == pytest.approx(1.0, abs=0.1)
+        assert (
+            factors["baseline:topo=switch"]["16GB/s"]
+            > factors["baseline"]["16GB/s"]
+        )
+        # Each (framework, engine) cell was cached exactly once; a
+        # repeat pass is pure hits and identical output.
+        stored = cache.stats.stores
+        assert stored == 4  # 2 frameworks x 2 engines x 1 workload
+        again = engine_contention_study(
+            FAST,
+            frameworks=("baseline", "baseline:topo=switch"),
+            link_bandwidths=(16.0,),
+            workloads=("HL2-640",),
+            cache=cache,
+        )
+        assert cache.stats.stores == stored
+        assert again.series == figure.series

@@ -1,11 +1,13 @@
-"""Tests for the dispatch timeline renderer."""
+"""Tests for the dispatch- and trace-timeline renderers."""
 
 import pytest
 
+from repro.config import baseline_system
 from repro.core.distribution import DispatchRecord
 from repro.core.oovr import OOVRFramework
+from repro.engine.trace import FrameTrace, TraceInterval
 from repro.scene.benchmarks import make_benchmark_scene
-from repro.stats.timeline import dispatch_timeline
+from repro.stats.timeline import dispatch_timeline, trace_timeline
 
 
 def record(gpm, cycles, calibration=False, batch_id=0):
@@ -73,3 +75,97 @@ class TestDispatchTimeline:
         assert text.count("GPM") == framework.config.num_gpms
         # Calibration batches (the first 8) must be visible.
         assert "▒" in text
+
+    def test_width_clamps_every_row(self):
+        # A batch far longer than the scale must not overrun the frame,
+        # and a sliver batch still paints at least one cell.
+        text = dispatch_timeline(
+            [record(0, 1e9), record(1, 1.0)], num_gpms=2, width=12
+        )
+        for line in text.splitlines()[:2]:
+            assert len(line.split("|")[1]) == 12
+        assert text.splitlines()[1].count("█") == 1
+
+    def test_minimum_width_accepted(self):
+        text = dispatch_timeline([record(0, 10.0)], num_gpms=1, width=10)
+        assert len(text.splitlines()[0].split("|")[1]) == 10
+
+    def test_negative_gpm_rejected(self):
+        with pytest.raises(ValueError):
+            dispatch_timeline([record(-1, 1.0)], num_gpms=2)
+
+
+def interval(gpm, start, end, kind="render", label="u"):
+    return TraceInterval(gpm=gpm, label=label, start=start, end=end, kind=kind)
+
+
+def make_trace(intervals, num_gpms=2, engine="event"):
+    busy = [0.0] * num_gpms
+    end = [0.0] * num_gpms
+    for span in intervals:
+        busy[span.gpm] += span.cycles
+        end[span.gpm] = max(end[span.gpm], span.end)
+    return FrameTrace(
+        engine=engine,
+        num_gpms=num_gpms,
+        intervals=tuple(intervals),
+        gpm_busy=tuple(busy),
+        gpm_end=tuple(end),
+    )
+
+
+class TestTraceTimeline:
+    def test_one_row_per_gpm_plus_legend(self):
+        text = trace_timeline(make_trace([interval(0, 0.0, 100.0)]))
+        lines = text.splitlines()
+        assert lines[0].startswith("GPM0")
+        assert lines[1].startswith("GPM1")
+        assert "render" in lines[2] and "event engine" in lines[2]
+
+    def test_idle_gap_shows_in_place(self):
+        # Unlike dispatch_timeline, a late interval leaves a leading gap.
+        text = trace_timeline(
+            make_trace([interval(0, 50.0, 100.0), interval(1, 0.0, 100.0)]),
+            width=20,
+        )
+        gpm0 = text.splitlines()[0].split("|")[1]
+        assert gpm0.startswith("·")
+        assert "50% busy" in text.splitlines()[0]
+
+    def test_kind_glyphs(self):
+        text = trace_timeline(
+            make_trace(
+                [
+                    interval(0, 0.0, 40.0, kind="render"),
+                    interval(0, 40.0, 80.0, kind="stall"),
+                    interval(1, 0.0, 80.0, kind="steal"),
+                ]
+            ),
+            width=20,
+        )
+        lines = text.splitlines()
+        assert "█" in lines[0] and "▒" in lines[0]
+        assert "◆" in lines[1]
+
+    def test_width_clamping(self):
+        text = trace_timeline(
+            make_trace([interval(0, 0.0, 1e9), interval(1, 0.0, 1.0)]),
+            width=15,
+        )
+        for line in text.splitlines()[:2]:
+            assert len(line.split("|")[1]) == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trace_timeline(make_trace([interval(0, 0.0, 1.0)]), width=4)
+        with pytest.raises(ValueError):
+            trace_timeline(make_trace([]))
+
+    def test_renders_real_event_trace(self):
+        scene = make_benchmark_scene("HL2-640", num_frames=1, draw_scale=0.1)
+        framework = OOVRFramework(baseline_system().with_engine("event"))
+        framework.render_scene(scene)
+        trace = framework.last_system.last_trace
+        text = trace_timeline(trace)
+        assert text.count("GPM") == framework.config.num_gpms
+        assert "% busy" in text
