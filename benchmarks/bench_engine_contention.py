@@ -5,20 +5,29 @@ work units in isolation, so concurrent flows never contend for a shared
 link or a peer's DRAM in time.  This bench replays the same schedules
 through the discrete-event engine (``<scheme>:engine=event``), which
 time-shares each wire's and each DRAM stack's bandwidth across the
-flows active in a window, and reports the **over-credit factor**
-(event / analytic single-frame cycles).
+flows active in a window — staging/PA copies and the composition
+barrier included — and reports the **over-credit factor**
+(event / analytic single-frame cycles), plus a phase-resolved view
+splitting the factor into its render-window and composition-barrier
+parts.
 
 Expected shape: ~1.0 on the paper's dedicated pairwise fabric (its
 "no interference" assumption really holds), a 2-3x penalty for the
 baseline on a shared central switch, and a far smaller one for OO-VR —
 the bytes its locality removes are exactly the bytes that would have
-queued on the contended wire.
+queued on the contended wire.  The phase view attributes OO-VR's
+residual penalty: how much of the "free" PA overlap congestion claws
+back in the render window, and how much the DHC all-pairs scatter
+queues at the barrier.
 """
 
 from benchmarks.conftest import BENCH, BENCH_CACHE, record_output
 from repro.experiments.engines import (
     CONTENTION_BANDWIDTHS_GB,
     CONTENTION_FRAMEWORKS,
+    CONTENTION_PHASES,
+    engine_contention_grid,
+    engine_contention_phases,
     engine_contention_study,
 )
 
@@ -28,10 +37,22 @@ WORKLOADS = ("DM3-1280", "HL2-1280", "WE")
 
 
 def run_engine_contention():
-    figure = engine_contention_study(
+    # One grid execution feeds both views (and persists in the shared
+    # bench cache for the other studies).
+    results = engine_contention_grid(
         BENCH,
         workloads=WORKLOADS,
         cache=BENCH_CACHE,
+    )
+    figure = engine_contention_study(
+        BENCH,
+        workloads=WORKLOADS,
+        results=results,
+    )
+    phases = engine_contention_phases(
+        BENCH,
+        workloads=WORKLOADS,
+        results=results,
     )
     text = "\n".join(
         [
@@ -39,18 +60,31 @@ def run_engine_contention():
             "(event / analytic cycles)",
             f"workloads: {', '.join(WORKLOADS)} (geomean)",
             figure.to_text(),
+            "",
+            phases.to_text(),
         ]
     )
-    return text, figure
+    return text, figure, phases
 
 
 def test_engine_contention(bench_once):
-    text, figure = bench_once(run_engine_contention)
+    text, figure, phases = bench_once(run_engine_contention)
     record_output("engine_contention", text)
     series = figure.series
     cheap = f"{CONTENTION_BANDWIDTHS_GB[-1]:.0f}GB/s"
     paper = f"{CONTENTION_BANDWIDTHS_GB[0]:.0f}GB/s"
     assert set(series) == set(CONTENTION_FRAMEWORKS)
+    # The phase-resolved breakdown carries one column per (framework,
+    # phase) over the same bandwidth rows.
+    assert set(phases.series) == {
+        f"{framework} [{phase}]"
+        for framework in CONTENTION_FRAMEWORKS
+        for phase in CONTENTION_PHASES
+    }
+    assert all(
+        set(row) == set(series[CONTENTION_FRAMEWORKS[0]])
+        for row in phases.series.values()
+    )
     # The discrete-event replay never undercuts the analytic price by
     # more than the documented full-duplex divergence (bidirectional
     # per-peer traffic drains in parallel where the analytic roll-up
@@ -67,9 +101,24 @@ def test_engine_contention(bench_once):
         series["baseline:topo=switch"][cheap]
         > series["oo-vr:topo=switch"][cheap] + 0.05
     )
-    # OO-VR's traffic reduction keeps its congestion penalty a
-    # fraction of the baseline's even where the fabric is worst.
+    # OO-VR's traffic reduction keeps its congestion penalty well under
+    # the baseline's even where the fabric is worst.  (The margin is
+    # smaller than it once looked: full engine coverage now prices the
+    # DHC barrier's all-pairs scatter through the shared switch too.)
     assert (
         series["oo-vr:topo=switch"][cheap]
-        < 0.6 * series["baseline:topo=switch"][cheap]
+        < 0.8 * series["baseline:topo=switch"][cheap]
     )
+    # The phase view attributes it: OO-VR's *render* window is nearly
+    # immune (the bytes PA moves off the critical path stay off it),
+    # while what penalty remains is concentrated in the composition
+    # barrier — DHC queues on a shared switch.
+    assert (
+        phases.series["oo-vr:topo=switch [render]"][cheap]
+        < 0.5 * phases.series["baseline:topo=switch [render]"][cheap]
+    )
+    # The baseline has no composition barrier (interleaved writes): its
+    # composition factor is exactly the 1.0 placeholder, while OO-VR's
+    # DHC scatter does queue on the shared switch.
+    assert phases.series["baseline [composition]"][cheap] == 1.0
+    assert phases.series["oo-vr:topo=switch [composition]"][cheap] >= 1.0

@@ -29,6 +29,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
+from repro.engine import ENGINE_NAMES
 from repro.experiments import figures, tables
 from repro.frameworks.base import build_framework, framework_names
 from repro.scene.benchmarks import WORKLOADS
@@ -370,8 +371,9 @@ def make_parser() -> argparse.ArgumentParser:
         help="print the scene result as a JSON document",
     )
     run.add_argument(
-        "--engine", choices=("analytic", "event"), default=None,
-        help="execution engine: the paper's analytic roofline or "
+        "--engine", metavar="NAME", default=None,
+        help="execution engine "
+        f"({'/'.join(ENGINE_NAMES)}): the paper's analytic roofline or "
         "discrete-event contention-aware timing (default: whatever "
         "the framework variant/config selects, i.e. analytic)",
     )
@@ -402,9 +404,10 @@ def make_parser() -> argparse.ArgumentParser:
         "skip already-executed cells",
     )
     sweep.add_argument(
-        "--engine", choices=("analytic", "event"), default=None,
-        help="execution engine for every cell, overriding variant/"
-        "config selections (part of the cache key when not 'analytic')",
+        "--engine", metavar="NAME", default=None,
+        help=f"execution engine ({'/'.join(ENGINE_NAMES)}) for every "
+        "cell, overriding variant/config selections (part of the "
+        "cache key when not 'analytic')",
     )
     sweep.set_defaults(func=_cmd_sweep)
 

@@ -32,7 +32,13 @@ observes completions through the engine's callback stream rather than
 doing its own clock arithmetic, and hands straggler slices to
 :meth:`~repro.engine.base.ExecutionEngine.steal_into` /
 :meth:`~repro.engine.base.ExecutionEngine.shed_tail` so the event
-engine can replay them with contention.
+engine can replay them with contention.  PA copies are engine work
+too: the staging manager emits them as a staging flow
+(:meth:`~repro.engine.base.ExecutionEngine.stage_flow`) with the
+queue-entry time as the overlap origin, the engine answers with the
+copy's landing time (the batch's start floor), and the event engine
+replays the copy as a background wire flow stealing bandwidth from
+concurrent rendering.
 """
 
 from __future__ import annotations
@@ -155,15 +161,17 @@ class DistributionEngine:
         when the batch enters the GPM's batch queue — modelled as the
         start of the GPM's previous batch — and streams over the links
         concurrently with rendering; the batch cannot start before the
-        copy lands, but in steady state it already has.
+        copy lands, but in steady state it already has.  The overlap
+        arithmetic is the engine's
+        (:meth:`~repro.engine.base.ExecutionEngine.stage_flow`, reached
+        through the staging manager): the dispatcher only forwards the
+        queue-entry time and reads the landing time back.
         """
         state = self._states[gpm_id]
-        before = self._staging.staged_bytes
-        self._staging.stage_unit(unit, gpm_id)
-        copied = self._staging.staged_bytes - before
-        copy_cycles = copied / self.system.config.link.bytes_per_cycle
-        copy_ready = state.last_start + copy_cycles
-        return copied, copy_ready
+        outcome = self._staging.stage_unit(
+            unit, gpm_id, overlap_from=state.last_start
+        )
+        return outcome.landed_bytes, outcome.ready_at
 
     # -- completion events ------------------------------------------------------
 

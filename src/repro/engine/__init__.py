@@ -23,14 +23,18 @@ from typing import TYPE_CHECKING, Dict, Tuple, Type
 
 from repro.engine.analytic import AnalyticEngine
 from repro.engine.base import (
+    CompositionSchedule,
+    CompositionTransfer,
     EngineError,
     ExecutionEngine,
     LinkFlow,
     ResolvedUnit,
+    StageCopy,
+    StageOutcome,
     classify_bottleneck,
 )
 from repro.engine.event import EventEngine
-from repro.engine.trace import FrameTrace, LinkUsage, TraceInterval
+from repro.engine.trace import PHASES, FrameTrace, LinkUsage, TraceInterval
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.gpu.system import MultiGPUSystem
@@ -38,7 +42,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "ENGINE_DEFAULT",
     "ENGINE_NAMES",
+    "PHASES",
     "AnalyticEngine",
+    "CompositionSchedule",
+    "CompositionTransfer",
     "EngineError",
     "EventEngine",
     "ExecutionEngine",
@@ -46,6 +53,8 @@ __all__ = [
     "LinkFlow",
     "LinkUsage",
     "ResolvedUnit",
+    "StageCopy",
+    "StageOutcome",
     "TraceInterval",
     "build_engine",
     "classify_bottleneck",

@@ -2,9 +2,16 @@
 
 Every unit is priced in isolation as ``max(compute, local DRAM time,
 slowest per-peer link time)`` and GPM clocks advance serially — exactly
-the model the reproduced figures were calibrated under.  The scheduling
+the model the reproduced figures were calibrated under.  The whole
+frame is covered: staging copies charge the overlap-model stall (or
+nothing when prefetched) through :meth:`ExecutionEngine.stage_flow
+<repro.engine.base.ExecutionEngine.stage_flow>`, and the composition
+barrier is priced ``max(ROP time, slowest transfer)`` through
+:meth:`ExecutionEngine.composition_phase
+<repro.engine.base.ExecutionEngine.composition_phase>`.  The scheduling
 clock *is* the final clock, so :meth:`finish_frame` simply reports the
-GPM state and the intervals recorded while executing.
+GPM state, the intervals recorded while executing and the accumulated
+composition barrier.
 
 What it cannot see — and what :class:`~repro.engine.event.EventEngine`
 exists to measure — is *contention in time*: two flows sharing a link
@@ -30,8 +37,10 @@ class AnalyticEngine(ExecutionEngine):
         return FrameTrace(
             engine=self.name,
             num_gpms=self.system.num_gpms,
-            intervals=tuple(self._intervals),
+            intervals=tuple(self._intervals) + tuple(self._compose_intervals),
             gpm_busy=tuple(gpm.busy_cycles for gpm in gpms),
             gpm_end=tuple(gpm.ready_at for gpm in gpms),
             links=self._fabric_usage(),
+            composition_cycles=self._composition_cycles,
+            phase_link_bytes=dict(self._phase_bytes),
         )

@@ -16,6 +16,19 @@
   price the scheduling clock with the analytic per-unit roofline, so
   dispatch decisions — and therefore schedules, placement and traffic
   — are identical across engines;
+- :meth:`ExecutionEngine.stage_flow` — account and price one unit's
+  staging/PA copies.  Byte accounting (fabric transfers, destination
+  DRAM writes) is shared; the *visible* cost is engine-specific: the
+  scheduling clock charges the analytic overlap formula (a stall of
+  ``bytes / (link bandwidth x parallelism)``, or nothing when the copy
+  is prefetched), while the event engine additionally replays the copy
+  as a background flow contending with render traffic on the wires;
+- :meth:`ExecutionEngine.composition_phase` — run the post-render
+  composition barrier from a :class:`CompositionSchedule` (per-GPM ROP
+  work plus the pixel transfers sort-last assembly moves).  Again the
+  byte accounting is shared and the pricing diverges: the analytic
+  engine charges ``max(ROP time, slowest transfer)``, the event engine
+  simulates the barrier's flows against each other;
 - :meth:`ExecutionEngine.finish_frame` — produce the frame's
   :class:`~repro.engine.trace.FrameTrace`.  This is where the engines
   diverge: :class:`~repro.engine.analytic.AnalyticEngine` reports the
@@ -23,6 +36,12 @@
   :class:`~repro.engine.event.EventEngine` replays the schedule through
   a discrete-event simulation that time-shares link and DRAM bandwidth
   across concurrently active flows.
+
+Every phase of a frame — render units, staging copies, the composition
+barrier — is therefore expressed to the engine as work it prices; no
+call site computes overlap or barrier arithmetic of its own, and the
+engine's :class:`~repro.engine.trace.FrameTrace` times every byte the
+fabric counts.
 
 Dispatchers (the OO-VR distribution engine, OO_APP's master-slave loop,
 straggler stealing) talk to the engine through the scheduling-clock API
@@ -43,10 +62,11 @@ from typing import (
     List,
     Mapping,
     Optional,
+    Sequence,
     Tuple,
 )
 
-from repro.engine.trace import FrameTrace, LinkUsage, TraceInterval
+from repro.engine.trace import PHASES, FrameTrace, LinkUsage, TraceInterval
 from repro.memory.address import ResourceKind, Touch
 from repro.memory.cache import miss_bytes
 from repro.memory.link import TrafficType
@@ -61,6 +81,10 @@ __all__ = [
     "EngineError",
     "LinkFlow",
     "ResolvedUnit",
+    "StageCopy",
+    "StageOutcome",
+    "CompositionTransfer",
+    "CompositionSchedule",
     "ExecutionEngine",
     "classify_bottleneck",
     "KIND_TO_TRAFFIC",
@@ -145,6 +169,71 @@ class ResolvedUnit:
         return sum(self.link_bytes.values())
 
 
+@dataclass(frozen=True)
+class StageCopy:
+    """One staging/PA copy chunk bound for a GPM's local DRAM.
+
+    Zero-byte chunks are legal (a touch that needed no shortfall) and
+    priced as nothing; they keep the chunk list aligned with the touch
+    list for diagnostics.
+    """
+
+    src: int
+    dst: int
+    nbytes: float
+    traffic: TrafficType
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """What one :meth:`ExecutionEngine.stage_flow` call did.
+
+    ``copied_bytes`` is the exact chunk total (what the staging
+    manager's frame counter advances by); ``landed_bytes`` is the same
+    quantity as the PA hardware observes it — the delta of its
+    cumulative DMA counter (``staged_before``), whose floating-point
+    rounding the prediction pipeline inherits; ``ready_at`` is when an
+    overlapped copy lands (``None`` unless ``overlap_from`` was given).
+    """
+
+    copied_bytes: float
+    landed_bytes: float
+    stall_cycles: float
+    ready_at: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class CompositionTransfer:
+    """One worker-to-owner pixel transfer of a composition schedule."""
+
+    src: int
+    dst: int
+    nbytes: float
+
+
+@dataclass(frozen=True)
+class CompositionSchedule:
+    """The post-render composition barrier, as work the engine prices.
+
+    Built by :mod:`repro.gpu.composition` from a
+    :class:`~repro.pipeline.rop.CompositionCost`: ``rop_cycles`` maps
+    each writing GPM to the ROP time of its framebuffer share (one
+    entry for master composition, all GPMs for DHC), ``transfers`` are
+    the pixel movements in schedule order, ``dram_writes`` the final
+    framebuffer writes per owner.  The engine performs the byte
+    accounting and decides how long the barrier takes.
+    """
+
+    label: str
+    rop_cycles: Mapping[int, float]
+    transfers: Tuple[CompositionTransfer, ...] = ()
+    dram_writes: Tuple[Tuple[int, float], ...] = ()
+
+    @property
+    def total_transfer_bytes(self) -> float:
+        return sum(t.nbytes for t in self.transfers)
+
+
 class ExecutionEngine(abc.ABC):
     """Timing/orchestration strategy for one :class:`MultiGPUSystem`."""
 
@@ -158,6 +247,13 @@ class ExecutionEngine(abc.ABC):
         self._callbacks: List[
             Callable[[ResolvedUnit, UnitExecution], None]
         ] = []
+        #: Inter-GPM bytes each frame phase moved (engine-independent).
+        self._phase_bytes: Dict[str, float] = {phase: 0.0 for phase in PHASES}
+        #: Accumulated composition critical path on the scheduling clock.
+        self._composition_cycles: float = 0.0
+        #: Composition-barrier intervals (separate from the render lane
+        #: so :meth:`shed_tail` clipping never touches them).
+        self._compose_intervals: List[TraceInterval] = []
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -165,6 +261,9 @@ class ExecutionEngine(abc.ABC):
         """Reset per-frame engine state (subscriptions included)."""
         self._intervals.clear()
         self._callbacks.clear()
+        self._phase_bytes = {phase: 0.0 for phase in PHASES}
+        self._composition_cycles = 0.0
+        self._compose_intervals.clear()
 
     def on_complete(
         self, callback: Callable[[ResolvedUnit, UnitExecution], None]
@@ -240,6 +339,7 @@ class ExecutionEngine(abc.ABC):
                 link_bytes.get(command_source, 0.0) + unit.command_bytes
             )
 
+        self._phase_bytes["render"] += sum(flow.nbytes for flow in flows)
         return ResolvedUnit(
             label=unit.label,
             gpm=gpm_id,
@@ -448,6 +548,8 @@ class ExecutionEngine(abc.ABC):
         begin = gpm.ready_at
         gpm.run(label, cycles)
         self.system.fabric.transfer(src, dst, nbytes, TrafficType.STEAL)
+        if src != dst and nbytes > 0:
+            self._phase_bytes["render"] += nbytes
         self._intervals.append(
             TraceInterval(
                 gpm=dst, label=label, start=begin, end=gpm.ready_at,
@@ -484,6 +586,126 @@ class ExecutionEngine(abc.ABC):
             range(self.system.num_gpms), key=lambda g: self.ready_at(g)
         )
 
+    # -- staging flows -------------------------------------------------------
+
+    def stage_flow(
+        self,
+        gpm_id: int,
+        copies: Sequence[StageCopy],
+        *,
+        parallelism: float = 1.0,
+        prefetched: bool = False,
+        overlap_from: Optional[float] = None,
+        staged_before: float = 0.0,
+        label: str = "stage",
+    ) -> StageOutcome:
+        """Account and price one unit's staging copies into ``gpm_id``.
+
+        The byte accounting (fabric transfers, destination DRAM writes)
+        happens here, once, in chunk order — engine-independent like
+        binding, so per-phase byte totals agree across engines.  The
+        *visible* cost on the scheduling clock is the analytic overlap
+        model: a prefetched copy (OO-VR's PA units) streams behind the
+        previous batch and charges nothing, a software copy stalls the
+        GPM for ``bytes / (link bandwidth x parallelism)`` where
+        ``parallelism`` folds incoming-link count and copy/render
+        overlap into one factor.  When ``overlap_from`` is given (the
+        PA path), the returned ``ready_at`` is when the copy lands:
+        ``overlap_from`` plus the counter-delta bytes at full link
+        bandwidth.  Engines may additionally replay the copy as a
+        background flow (see :class:`~repro.engine.event.EventEngine`).
+        """
+        system = self.system
+        if not 0 <= gpm_id < system.num_gpms:
+            raise ValueError(f"GPM {gpm_id} out of range")
+        if parallelism <= 0:
+            raise EngineError("staging parallelism must be positive")
+        total = 0.0
+        for copy in copies:
+            if copy.nbytes <= 0:
+                continue
+            system.fabric.transfer(copy.src, copy.dst, copy.nbytes, copy.traffic)
+            system.drams[copy.dst].write(copy.nbytes)
+            total += copy.nbytes
+            if copy.src != copy.dst:
+                # Phase totals count what the fabric counts: a
+                # single-GPM "copy" never leaves the XBAR.
+                self._phase_bytes["staging"] += copy.nbytes
+        stall = 0.0
+        if total > 0 and not prefetched:
+            stall = total / (
+                system.config.link.bytes_per_cycle * parallelism
+            )
+            gpm = system.gpms[gpm_id]
+            begin = gpm.ready_at
+            gpm.run(label, stall)
+            self._intervals.append(
+                TraceInterval(
+                    gpm=gpm_id, label=label, start=begin, end=gpm.ready_at,
+                    kind="stall",
+                )
+            )
+        landed = total
+        ready_at: Optional[float] = None
+        if overlap_from is not None:
+            # The PA unit measures the copy off its cumulative DMA
+            # counter; the register delta is what the predictor sees.
+            landed = (staged_before + total) - staged_before
+            ready_at = overlap_from + landed / system.config.link.bytes_per_cycle
+        self._note_stage(
+            gpm_id, tuple(copies), total, stall, parallelism, prefetched,
+            overlap_from, label,
+        )
+        return StageOutcome(
+            copied_bytes=total,
+            landed_bytes=landed,
+            stall_cycles=stall,
+            ready_at=ready_at,
+        )
+
+    # -- the composition barrier ---------------------------------------------
+
+    def composition_phase(self, schedule: CompositionSchedule) -> float:
+        """Run ``schedule``'s composition barrier; returns its price.
+
+        Byte accounting (pixel transfers, owner DRAM traffic) happens
+        here in schedule order, shared by every engine.  The returned
+        value is the analytic barrier price — ``max(slowest GPM's ROP
+        time, slowest transfer)`` — which accumulates into the trace's
+        :attr:`~repro.engine.trace.FrameTrace.composition_cycles` on
+        the analytic engine; the event engine re-prices the barrier by
+        simulating its flows against each other and reports that
+        instead (the return value stays the scheduling-clock estimate).
+        """
+        system = self.system
+        worst_link_cycles = 0.0
+        for transfer in schedule.transfers:
+            cycles = system.fabric.transfer(
+                transfer.src, transfer.dst, transfer.nbytes,
+                TrafficType.COMPOSITION,
+            )
+            system.drams[transfer.dst].serve_remote(transfer.nbytes)
+            worst_link_cycles = max(worst_link_cycles, cycles)
+        for gpm_id, nbytes in schedule.dram_writes:
+            system.drams[gpm_id].write(nbytes)
+        rop_cycles = max(schedule.rop_cycles.values(), default=0.0)
+        critical_path = max(rop_cycles, worst_link_cycles)
+        self._phase_bytes["composition"] += schedule.total_transfer_bytes
+        self._composition_cycles += critical_path
+        barrier = max(gpm.ready_at for gpm in system.gpms)
+        for gpm_id in sorted(schedule.rop_cycles):
+            self._compose_intervals.append(
+                TraceInterval(
+                    gpm=gpm_id,
+                    label=schedule.label,
+                    start=barrier,
+                    end=barrier + critical_path,
+                    kind="compose",
+                )
+            )
+        self._note_composition(schedule, critical_path)
+        return critical_path
+
     # -- event-recording hooks (no-ops on the analytic engine) ----------------
 
     def _note_unit(
@@ -501,6 +723,24 @@ class ExecutionEngine(abc.ABC):
 
     def _note_shed(self, gpm_id: int, cycles: float) -> None:
         """Hook: tail cycles left the straggler's schedule."""
+
+    def _note_stage(
+        self,
+        gpm_id: int,
+        copies: Tuple[StageCopy, ...],
+        total_bytes: float,
+        stall_cycles: float,
+        parallelism: float,
+        prefetched: bool,
+        overlap_from: Optional[float],
+        label: str,
+    ) -> None:
+        """Hook: a staging flow entered the schedule."""
+
+    def _note_composition(
+        self, schedule: CompositionSchedule, critical_path: float
+    ) -> None:
+        """Hook: a composition barrier entered the schedule."""
 
     # -- finalisation --------------------------------------------------------
 

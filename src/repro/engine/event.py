@@ -20,6 +20,34 @@ submitted schedule through a fluid discrete-event simulation:
 - a unit completes when its last demand drains; the global clock
   advances between completions, starts and rate changes.
 
+Every frame phase is replayed, not just render units:
+
+- **staging copies** are link flows.  A software copy (tile/object
+  SFR, OO_APP) occupies its GPM as a ``stall``-kind job whose demand
+  is the copy stream draining at ``parallelism`` times its bandwidth
+  share — uncontended it lasts exactly the analytic overlap stall,
+  contended it stretches with the wires.  A prefetched PA copy is a
+  *background* flow: it never occupies the GPM (the schedule already
+  floors the batch at the analytic copy-arrival time), but it streams
+  on the links and the destination DRAM concurrently with rendering,
+  stealing bandwidth from render flows — the cost of "free"
+  pre-allocation the analytic model cannot see.  Background copies
+  appear in the trace as a ``stage`` lane;
+- **the composition barrier** starts when the simulated render phase
+  ends and is simulated as its own window: every worker's pixel
+  transfers contend on the links while the stripe owners' ROP work
+  runs as compute, and :attr:`FrameTrace.composition_cycles
+  <repro.engine.trace.FrameTrace.composition_cycles>` is the
+  simulated barrier length (``compose`` lane intervals).  Destination
+  DRAM is deliberately not billed here — the analytic barrier price is
+  ROP/link-bound, and keeping the same demand set preserves the
+  uncontended equivalence between engines.  The two windows are
+  simulated independently: a background copy still draining when the
+  last render lane ends (rare — PA floors precede their batch's
+  start) finishes in the render window's tail without coupling to the
+  barrier's flows, so its ``stage`` span may outlast
+  ``render_critical_path``.
+
 Uncontended, a single flow drains in exactly the analytic roofline
 time — on any fabric.  One deliberate divergence remains: the analytic
 model rolls a unit's traffic *per peer* into one serial term, even
@@ -29,14 +57,6 @@ links are full-duplex wire pairs.  Bidirectional link-bound units can
 therefore finish slightly *faster* here (study factors a fraction of a
 percent under 1.0); everything beyond that gap is the time congestion
 steals, the quantity the engine-contention study measures.
-
-Two traffic classes are deliberately *not* replayed as contending
-flows: staging/pre-allocation copies (they overlap rendering through
-the copy engines — their GPM-visible cost is the stall the staging
-manager charges) and the composition pass (a barrier phase after the
-render trace whose critical path is priced analytically and added on
-top).  Their bytes appear in the fabric's counters like always;
-modelling them as background flows is an open extension.
 """
 
 from __future__ import annotations
@@ -45,7 +65,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.engine.base import EngineError, ExecutionEngine, ResolvedUnit
+from repro.engine.base import (
+    CompositionSchedule,
+    EngineError,
+    ExecutionEngine,
+    ResolvedUnit,
+    StageCopy,
+)
 from repro.engine.trace import FrameTrace, LinkUsage, TraceInterval
 
 __all__ = ["EventEngine"]
@@ -65,6 +91,11 @@ class _FlowSpec:
     route: Tuple[Link, ...]
     nbytes: float
     latency: float
+    #: Effective-bandwidth multiplier (staging copies stream over
+    #: several incoming links at once; the analytic overlap model folds
+    #: that into one ``parallelism`` factor, mirrored here so the
+    #: uncontended drain time matches the analytic stall exactly).
+    rate_scale: float = 1.0
 
 
 @dataclass
@@ -85,12 +116,13 @@ class _Job:
 class _ActiveFlow:
     """Runtime state of one flow while its job is active."""
 
-    __slots__ = ("route", "latency_remaining", "bytes_remaining")
+    __slots__ = ("route", "latency_remaining", "bytes_remaining", "rate_scale")
 
     def __init__(self, spec: _FlowSpec) -> None:
         self.route = spec.route
         self.latency_remaining = spec.latency
         self.bytes_remaining = spec.nbytes
+        self.rate_scale = spec.rate_scale
 
     @property
     def done(self) -> bool:
@@ -98,7 +130,7 @@ class _ActiveFlow:
 
 
 class _ActiveJob:
-    """Runtime state of the job a GPM is currently executing."""
+    """Runtime state of one job while it executes."""
 
     __slots__ = ("job", "start", "compute_remaining", "dram_remaining", "flows")
 
@@ -120,6 +152,24 @@ class _ActiveJob:
         )
 
 
+@dataclass
+class _SimResult:
+    """Output of one simulation pass."""
+
+    busy: List[float]
+    end: List[float]
+    intervals: List[TraceInterval]
+    link_busy: Dict[Link, float]
+    link_bytes: Dict[Link, float]
+
+    @property
+    def makespan(self) -> float:
+        horizon = max(self.end) if self.end else 0.0
+        for span in self.intervals:
+            horizon = max(horizon, span.end)
+        return horizon
+
+
 class EventEngine(ExecutionEngine):
     """Discrete-event timing over the analytic engine's schedule."""
 
@@ -128,10 +178,16 @@ class EventEngine(ExecutionEngine):
     def __init__(self, system) -> None:
         super().__init__(system)
         self._jobs: List[_Job] = []
+        #: Background staging/PA copies (no GPM occupancy, wire load only).
+        self._background: List[_Job] = []
+        #: Composition barriers to simulate after the render phase.
+        self._compositions: List[CompositionSchedule] = []
 
     def begin_frame(self) -> None:
         super().begin_frame()
         self._jobs.clear()
+        self._background.clear()
+        self._compositions.clear()
 
     # -- schedule recording ---------------------------------------------------
 
@@ -234,9 +290,92 @@ class EventEngine(ExecutionEngine):
             job.provisional_cycles = p - take
             remaining -= take
 
+    def _note_stage(
+        self,
+        gpm_id: int,
+        copies: Tuple[StageCopy, ...],
+        total_bytes: float,
+        stall_cycles: float,
+        parallelism: float,
+        prefetched: bool,
+        overlap_from: Optional[float],
+        label: str,
+    ) -> None:
+        """Replay a staging copy as link flows instead of opaque time."""
+        if total_bytes <= 0:
+            return
+        merged: Dict[Link, float] = {}
+        for copy in copies:
+            if copy.nbytes > 0 and copy.src != copy.dst:
+                key = (copy.src, copy.dst)
+                merged[key] = merged.get(key, 0.0) + copy.nbytes
+        fabric = self.system.fabric
+        specs: List[_FlowSpec] = []
+        for (src, dst), nbytes in merged.items():
+            route = tuple(fabric.route(src, dst))
+            if not route:
+                continue
+            specs.append(
+                _FlowSpec(
+                    # Copies stream: no per-request wire latency (the
+                    # analytic overlap stall has no latency term
+                    # either).  The rate compensates flow_rate()'s
+                    # hop-count serialisation — the analytic copy model
+                    # is hop-blind (a pipelined DMA stream, priced at
+                    # raw link bandwidth on any fabric), so uncontended
+                    # drain time must equal the analytic stall / PA
+                    # copy time everywhere; contention still divides
+                    # the rate through each route link's user count.
+                    route=route,
+                    nbytes=nbytes,
+                    latency=0.0,
+                    rate_scale=(1.0 if prefetched else parallelism)
+                    * len(route),
+                )
+            )
+        if prefetched:
+            if not specs:
+                return
+            self._background.append(
+                _Job(
+                    label=label,
+                    gpm=gpm_id,
+                    kind="stage",
+                    start_floor=overlap_from or 0.0,
+                    compute=0.0,
+                    # The copy lands in the destination's DRAM while
+                    # renders read from it.
+                    dram={gpm_id: total_bytes},
+                    flows=specs,
+                    provisional_cycles=0.0,
+                )
+            )
+            return
+        self._jobs.append(
+            _Job(
+                label=label,
+                gpm=gpm_id,
+                kind="stall",
+                start_floor=0.0,
+                # A pure flow job when routable; otherwise fall back to
+                # the scheduling-clock stall so no time is lost.
+                compute=0.0 if specs else stall_cycles,
+                dram={},
+                flows=specs,
+                provisional_cycles=stall_cycles,
+            )
+        )
+
+    def _note_composition(
+        self, schedule: CompositionSchedule, critical_path: float
+    ) -> None:
+        self._compositions.append(schedule)
+
     # -- simulation ----------------------------------------------------------
 
-    def _simulate(self, jobs: Sequence[_Job]) -> FrameTrace:
+    def _simulate(
+        self, jobs: Sequence[_Job], background: Sequence[_Job] = ()
+    ) -> _SimResult:
         system = self.system
         n = system.num_gpms
         dram_bw = system.config.gpm.dram_bytes_per_cycle
@@ -245,6 +384,10 @@ class EventEngine(ExecutionEngine):
         queues: List[deque] = [deque() for _ in range(n)]
         for job in jobs:
             queues[job.gpm].append(job)
+        bg_pending: List[_Job] = sorted(
+            background, key=lambda job: job.start_floor
+        )
+        bg_active: List[_ActiveJob] = []
 
         active: Dict[int, _ActiveJob] = {}
         t = 0.0
@@ -254,13 +397,21 @@ class EventEngine(ExecutionEngine):
         link_busy: Dict[Link, float] = {}
         link_bytes: Dict[Link, float] = {}
 
+        def account_bytes(job: _Job) -> None:
+            for spec in job.flows:
+                for link in spec.route:
+                    link_bytes[link] = link_bytes.get(link, 0.0) + spec.nbytes
+
         total_components = sum(
-            1 + len(job.dram) + len(job.flows) for job in jobs
+            1 + len(job.dram) + len(job.flows)
+            for job in (*jobs, *background)
         )
-        max_steps = 1000 + 16 * (total_components + len(jobs))
+        max_steps = 1000 + 16 * (
+            total_components + len(jobs) + len(background)
+        )
         steps = 0
 
-        while active or any(queues):
+        while active or any(queues) or bg_active or bg_pending:
             steps += 1
             if steps > max_steps:
                 raise EngineError(
@@ -289,15 +440,33 @@ class EventEngine(ExecutionEngine):
                             )
                         )
                         end[gpm] = max(end[gpm], state.start)
-                        for spec in job.flows:
-                            for link in spec.route:
-                                link_bytes[link] = (
-                                    link_bytes.get(link, 0.0) + spec.nbytes
-                                )
+                        account_bytes(job)
                         continue
                     active[gpm] = state
+            # Background copies activate on their floor regardless of
+            # what their GPM is doing — the copy engines, not the SMs,
+            # move the bytes.
+            while bg_pending:
+                floor = bg_pending[0].start_floor
+                if floor > t * (1 + _REL) + _EPS:
+                    next_start = min(next_start, floor)
+                    break
+                job = bg_pending.pop(0)
+                state = _ActiveJob(job, start=max(t, floor))
+                if state.done:
+                    intervals.append(
+                        TraceInterval(
+                            gpm=job.gpm, label=job.label,
+                            start=state.start, end=state.start,
+                            kind=job.kind,
+                        )
+                    )
+                    account_bytes(job)
+                    continue
+                bg_active.append(state)
 
-            if not active:
+            running = list(active.values()) + bg_active
+            if not running:
                 if next_start == float("inf"):
                     break
                 t = next_start
@@ -306,7 +475,7 @@ class EventEngine(ExecutionEngine):
             # Concurrent users per shared resource in this window.
             dram_users: Dict[int, int] = {}
             link_users: Dict[Link, int] = {}
-            for state in active.values():
+            for state in running:
                 for gpm, nbytes in state.dram_remaining.items():
                     if nbytes > _EPS:
                         dram_users[gpm] = dram_users.get(gpm, 0) + 1
@@ -320,13 +489,15 @@ class EventEngine(ExecutionEngine):
                 # route, serialised over the hop count — uncontended
                 # this reproduces the analytic bytes x hops wire-load
                 # charge exactly, so engine gaps isolate contention.
-                return min(
-                    link_bw / link_users[link] for link in flow.route
-                ) / len(flow.route)
+                return (
+                    min(link_bw / link_users[link] for link in flow.route)
+                    * flow.rate_scale
+                    / len(flow.route)
+                )
 
             # Time to the next completion or rate change.
             dt = next_start - t if next_start != float("inf") else float("inf")
-            for state in active.values():
+            for state in running:
                 if state.compute_remaining > _EPS:
                     dt = min(dt, state.compute_remaining)
                 for gpm, nbytes in state.dram_remaining.items():
@@ -350,7 +521,7 @@ class EventEngine(ExecutionEngine):
                 for link, users in link_users.items():
                     if users > 0:
                         link_busy[link] = link_busy.get(link, 0.0) + dt
-                for state in active.values():
+                for state in running:
                     if state.compute_remaining > _EPS:
                         state.compute_remaining -= dt
                     for gpm in list(state.dram_remaining):
@@ -377,12 +548,102 @@ class EventEngine(ExecutionEngine):
                     )
                 )
                 end[gpm] = max(end[gpm], t)
-                for spec in state.job.flows:
-                    for link in spec.route:
-                        link_bytes[link] = (
-                            link_bytes.get(link, 0.0) + spec.nbytes
-                        )
+                account_bytes(state.job)
                 del active[gpm]
+            for state in list(bg_active):
+                if not state.done and dt > 0.0:
+                    continue
+                intervals.append(
+                    TraceInterval(
+                        gpm=state.job.gpm, label=state.job.label,
+                        start=state.start, end=t, kind=state.job.kind,
+                    )
+                )
+                account_bytes(state.job)
+                bg_active.remove(state)
+
+        return _SimResult(
+            busy=busy,
+            end=end,
+            intervals=intervals,
+            link_busy=link_busy,
+            link_bytes=link_bytes,
+        )
+
+    def _composition_jobs(self, floor: float) -> List[_Job]:
+        """Expand the recorded barriers into simulation jobs.
+
+        One job per participating GPM, floored at the simulated render
+        end: its ROP share as compute, its outgoing pixel transfers
+        (merged per directional pair) as flows.
+        """
+        fabric = self.system.fabric
+        latency = float(self.system.config.link.latency_cycles)
+        jobs: List[_Job] = []
+        for schedule in self._compositions:
+            outgoing: Dict[int, Dict[Link, float]] = {}
+            for transfer in schedule.transfers:
+                if transfer.nbytes <= 0 or transfer.src == transfer.dst:
+                    continue
+                per_src = outgoing.setdefault(transfer.src, {})
+                key = (transfer.src, transfer.dst)
+                per_src[key] = per_src.get(key, 0.0) + transfer.nbytes
+            participants = sorted(set(schedule.rop_cycles) | set(outgoing))
+            for gpm in participants:
+                specs: List[_FlowSpec] = []
+                for (src, dst), nbytes in outgoing.get(gpm, {}).items():
+                    route = tuple(fabric.route(src, dst))
+                    if not route:
+                        continue
+                    specs.append(
+                        _FlowSpec(
+                            route=route,
+                            nbytes=nbytes,
+                            latency=latency * len(route),
+                        )
+                    )
+                compute = schedule.rop_cycles.get(gpm, 0.0)
+                if compute <= 0 and not specs:
+                    continue
+                jobs.append(
+                    _Job(
+                        label=schedule.label,
+                        gpm=gpm,
+                        kind="compose",
+                        start_floor=floor,
+                        compute=compute,
+                        dram={},
+                        flows=specs,
+                        provisional_cycles=0.0,
+                    )
+                )
+        return jobs
+
+    def finish_frame(self) -> FrameTrace:
+        """Replay the submitted schedule through the event simulation.
+
+        Two windows: the render phase (units, stalls, steals and
+        background staging copies time-sharing the machine), then the
+        composition barrier starting when the last GPM's render lane
+        drains.  Per-GPM busy/end figures cover the render lane only;
+        the barrier is reported as ``composition_cycles`` and its
+        ``compose``-lane intervals.
+        """
+        render = self._simulate(self._jobs, self._background)
+        render_end = max(render.end) if render.end else 0.0
+        intervals = list(render.intervals)
+        link_busy = dict(render.link_busy)
+        link_bytes = dict(render.link_bytes)
+        composition_cycles = 0.0
+        compose_jobs = self._composition_jobs(render_end)
+        if compose_jobs:
+            compose = self._simulate(compose_jobs)
+            composition_cycles = max(compose.makespan - render_end, 0.0)
+            intervals.extend(compose.intervals)
+            for link, cycles in compose.link_busy.items():
+                link_busy[link] = link_busy.get(link, 0.0) + cycles
+            for link, nbytes in compose.link_bytes.items():
+                link_bytes[link] = link_bytes.get(link, 0.0) + nbytes
 
         links = tuple(
             LinkUsage(
@@ -395,13 +656,11 @@ class EventEngine(ExecutionEngine):
         )
         return FrameTrace(
             engine=self.name,
-            num_gpms=n,
+            num_gpms=self.system.num_gpms,
             intervals=tuple(intervals),
-            gpm_busy=tuple(busy),
-            gpm_end=tuple(end),
+            gpm_busy=tuple(render.busy),
+            gpm_end=tuple(render.end),
             links=links,
+            composition_cycles=composition_cycles,
+            phase_link_bytes=dict(self._phase_bytes),
         )
-
-    def finish_frame(self) -> FrameTrace:
-        """Replay the submitted schedule through the event simulation."""
-        return self._simulate(self._jobs)

@@ -2,21 +2,44 @@
 
 A :class:`FrameTrace` is the common output of every
 :class:`~repro.engine.base.ExecutionEngine`: an interval log per GPM
-(render units, staging stalls, steal slices), per-link occupancy, and
-the roll-up numbers :meth:`MultiGPUSystem.frame_result
+(render units, staging stalls, steal slices, background staging copies,
+the composition barrier), per-link occupancy, per-phase roll-ups, and
+the numbers :meth:`MultiGPUSystem.frame_result
 <repro.gpu.system.MultiGPUSystem.frame_result>` needs (busy cycles per
-GPM and the render critical path).  The analytic engine assembles its
-trace from the per-unit intervals it priced eagerly; the event engine
-emits the intervals its discrete-event simulation actually produced —
-including the contention-stretched ones the analytic model cannot see.
+GPM, the render critical path and the composition-phase cycles).  The
+analytic engine assembles its trace from the per-unit intervals it
+priced eagerly; the event engine emits the intervals its discrete-event
+simulation actually produced — including the contention-stretched ones
+the analytic model cannot see.
+
+Every byte the fabric counts is owned by exactly one *phase*:
+
+- ``render`` — work-unit binding traffic (texture/vertex/z/fb/command)
+  plus steal duplication;
+- ``staging`` — software staging and PA pre-allocation copies
+  (:meth:`ExecutionEngine.stage_flow
+  <repro.engine.base.ExecutionEngine.stage_flow>`);
+- ``composition`` — the post-render barrier
+  (:meth:`ExecutionEngine.composition_phase
+  <repro.engine.base.ExecutionEngine.composition_phase>`).
+
+Both engines report identical per-phase byte totals (binding and flow
+accounting are shared); only the timing differs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
 
-__all__ = ["TraceInterval", "LinkUsage", "FrameTrace"]
+__all__ = ["PHASES", "TraceInterval", "LinkUsage", "FrameTrace"]
+
+#: The frame phases every engine prices, in pipeline order.
+PHASES = ("render", "staging", "composition")
+
+#: Interval kinds that occupy a GPM's render lane (and therefore count
+#: into ``gpm_busy``/``gpm_end``).
+_RENDER_LANE_KINDS = frozenset({"render", "stall", "steal"})
 
 
 @dataclass(frozen=True)
@@ -28,7 +51,10 @@ class TraceInterval:
     start: float
     end: float
     #: ``render`` (a work unit), ``stall`` (a staging copy the GPM
-    #: waited on) or ``steal`` (a straggler slice absorbed at the tail).
+    #: waited on), ``steal`` (a straggler slice absorbed at the tail),
+    #: ``stage`` (a background staging/PA copy streaming through the
+    #: copy engines while the GPM renders) or ``compose`` (the
+    #: post-render composition barrier on the GPM's ROPs).
     kind: str = "render"
 
     def __post_init__(self) -> None:
@@ -61,25 +87,43 @@ class FrameTrace:
     engine: str
     num_gpms: int
     intervals: Tuple[TraceInterval, ...]
-    #: Cycles each GPM spent occupied (render + stall + steal spans).
+    #: Cycles each GPM spent occupied on its render lane (render +
+    #: stall + steal spans; background copies and composition are
+    #: separate lanes).
     gpm_busy: Tuple[float, ...]
-    #: Time each GPM finished its last span (0.0 for idle GPMs).
+    #: Time each GPM finished its last render-lane span (0.0 for idle
+    #: GPMs); composition runs after this barrier.
     gpm_end: Tuple[float, ...]
     links: Tuple[LinkUsage, ...] = ()
+    #: Critical path of the post-render composition barrier (0.0 when
+    #: the framework composes nothing).  The analytic engine reports
+    #: the schedule's roofline price; the event engine the simulated,
+    #: contention-aware barrier length.
+    composition_cycles: float = 0.0
+    #: Inter-GPM bytes per frame phase (``render``/``staging``/
+    #: ``composition``) — identical across engines by construction.
+    phase_link_bytes: Mapping[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.num_gpms <= 0:
             raise ValueError("trace needs at least one GPM")
         if len(self.gpm_busy) != self.num_gpms or len(self.gpm_end) != self.num_gpms:
             raise ValueError("per-GPM series must cover every GPM")
+        if self.composition_cycles < 0:
+            raise ValueError("negative composition time")
 
     @property
     def render_critical_path(self) -> float:
-        """When the last GPM went idle: the frame's render time."""
+        """When the last GPM went idle: the pre-barrier render time."""
         return max(self.gpm_end) if self.gpm_end else 0.0
 
+    @property
+    def frame_cycles(self) -> float:
+        """End-to-end frame time: render barrier plus composition."""
+        return self.render_critical_path + self.composition_cycles
+
     def intervals_for(self, gpm: int) -> List[TraceInterval]:
-        """This GPM's spans, in start order."""
+        """This GPM's spans (all lanes), in start order."""
         if not 0 <= gpm < self.num_gpms:
             raise ValueError(f"GPM {gpm} out of range 0..{self.num_gpms - 1}")
         spans = [span for span in self.intervals if span.gpm == gpm]
@@ -89,11 +133,11 @@ class FrameTrace:
     def link_bytes(self) -> Dict[Tuple[int, int], float]:
         """Physical bytes per directional link (conservation checks).
 
-        Covers the bytes this trace *timed*: under the event engine
-        that is the render-phase flows (staging copies and the
-        composition barrier are priced analytically — see
-        :mod:`repro.engine.event` — and appear only in the fabric's
-        counters); the analytic trace reports the fabric totals.
+        Covers every byte this trace timed — render flows, staging/PA
+        copies and the composition barrier alike.  Under the event
+        engine these are the bytes its simulation drained; the analytic
+        trace reports the fabric's counters, which agree because flow
+        accounting is engine-independent.
         """
         out: Dict[Tuple[int, int], float] = {}
         for usage in self.links:
@@ -101,8 +145,69 @@ class FrameTrace:
             out[key] = out.get(key, 0.0) + usage.nbytes
         return out
 
+    def busy_by_kind(self) -> Dict[str, float]:
+        """Total occupied cycles per interval kind, across all GPMs."""
+        out: Dict[str, float] = {}
+        for span in self.intervals:
+            out[span.kind] = out.get(span.kind, 0.0) + span.cycles
+        return out
+
+    def phase_cycles(self) -> Dict[str, float]:
+        """The frame's critical path decomposed by phase.
+
+        ``render`` + ``staging`` span the pre-barrier timeline of the
+        critical (last-finishing) GPM — ``staging`` is the part of that
+        GPM's path spent blocked on staging copies (``stall`` spans),
+        ``render`` the rest; ``composition`` is the post-render
+        barrier.  The three always sum to :attr:`frame_cycles`, so a
+        phase breakdown conserves the frame's total time.  Background
+        (``stage``-kind) copies overlap rendering and contribute no
+        critical-path cycles of their own.
+        """
+        staging = 0.0
+        if self.gpm_end:
+            critical_gpm = max(
+                range(self.num_gpms), key=lambda g: self.gpm_end[g]
+            )
+            staging = sum(
+                (
+                    span.cycles
+                    for span in self.intervals
+                    if span.gpm == critical_gpm and span.kind == "stall"
+                ),
+                0.0,
+            )
+        return {
+            "render": self.render_critical_path - staging,
+            "staging": staging,
+            "composition": self.composition_cycles,
+        }
+
+    def phase_summary(self) -> Dict[str, object]:
+        """Compact per-phase roll-up (the event-engine golden format).
+
+        Per-phase critical-path cycles and link bytes, per-kind busy
+        cycles and the per-GPM render-lane occupancy — small enough to
+        commit as a golden file, detailed enough that any event-engine
+        timing change moves it.
+        """
+        return {
+            "engine": self.engine,
+            "num_gpms": self.num_gpms,
+            "frame_cycles": self.frame_cycles,
+            "render_critical_path": self.render_critical_path,
+            "composition_cycles": self.composition_cycles,
+            "phase_cycles": self.phase_cycles(),
+            "phase_link_bytes": {
+                phase: self.phase_link_bytes.get(phase, 0.0)
+                for phase in PHASES
+            },
+            "busy_by_kind": dict(sorted(self.busy_by_kind().items())),
+            "gpm_busy": list(self.gpm_busy),
+        }
+
     def utilisation(self, gpm: int) -> float:
-        """Occupied fraction of the frame's critical path for one GPM."""
+        """Render-lane occupancy over the render critical path."""
         horizon = self.render_critical_path
         if horizon <= 0:
             return 0.0
@@ -114,6 +219,9 @@ class FrameTrace:
             "engine": self.engine,
             "num_gpms": self.num_gpms,
             "render_critical_path": self.render_critical_path,
+            "composition_cycles": self.composition_cycles,
+            "frame_cycles": self.frame_cycles,
+            "phase_link_bytes": dict(self.phase_link_bytes),
             "gpm_busy": list(self.gpm_busy),
             "gpm_end": list(self.gpm_end),
             "intervals": [

@@ -48,6 +48,8 @@ class AlternateFrameRendering(RenderingFramework):
             for touch in unit.texture_touches + unit.vertex_touches:
                 system.placement.replicate(touch.resource, [gpm])
             system.execute_unit(unit, gpm, fb_targets={gpm: 1.0}, command_source=gpm)
+        # One GPM owns the whole frame: no staging flows, no
+        # composition schedule — the engine's other phases stay empty.
         return system.frame_result(self.name, workload)
 
     def frame_interval_cycles(

@@ -75,5 +75,8 @@ class ObjectLevelSFR(RenderingFramework):
                 unit, gpm, fb_targets={gpm: 1.0}, command_source=self.root
             )
             rendered_pixels[gpm] += unit.pixels_out
+        # The master-node assembly is handed to the execution engine as
+        # a composition schedule; its barrier price lands on the
+        # frame's composition phase, not on any GPM's render clock.
         compose_master(system, rendered_pixels, root=self.root)
         return system.frame_result(self.name, workload)

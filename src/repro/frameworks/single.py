@@ -83,7 +83,9 @@ class SingleKernelBaseline(RenderingFramework):
                     slice_unit, gpm, fb_targets=fb_targets, command_source=0
                 )
         # No composition phase: ROPs write the interleaved framebuffer
-        # directly during rendering.
+        # directly during rendering, so no CompositionSchedule is
+        # handed to the engine and the trace's composition lane is
+        # empty.
         return system.frame_result(self.name, workload)
 
 

@@ -150,7 +150,10 @@ class TileSplitFrameRendering(RenderingFramework):
                 system.execute_unit(
                     slice_unit, gpm, fb_targets={gpm: 1.0}, command_source=0
                 )
-        # Sort-first needs no composition pass: strips tile the frame.
+        # Sort-first needs no composition pass (strips tile the frame),
+        # so nothing is scheduled on the engine's composition phase;
+        # the staging copies above were already priced by its
+        # stage_flow (a stall here, since tile-SFR has no PA units).
         return system.frame_result(self.name, workload)
 
 

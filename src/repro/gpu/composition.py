@@ -11,14 +11,23 @@ the final frame.  Two hardware paths:
   framebuffer is striped vertically across all GPMs (Fig. 14), every
   GPM's ROPs write their own stripe, and only pixels rendered on a
   different GPM than their stripe owner cross a link.
+
+Both builders translate the pass into a
+:class:`~repro.engine.base.CompositionSchedule` — per-GPM ROP work from
+:mod:`repro.pipeline.rop` plus the pixel transfers — and hand it to the
+system's execution engine
+(:meth:`~repro.engine.base.ExecutionEngine.composition_phase`), which
+performs the byte accounting and prices the barrier: the analytic
+engine as ``max(ROP time, slowest transfer)``, the event engine by
+simulating the barrier's flows against each other.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
+from repro.engine.base import CompositionSchedule, CompositionTransfer
 from repro.gpu.system import MultiGPUSystem
-from repro.memory.link import TrafficType
 from repro.pipeline import rop
 
 
@@ -29,7 +38,7 @@ def compose_master(
     bytes_per_pixel: float = 4.0,
     depth_bytes_per_pixel: float = 4.0,
 ) -> float:
-    """Master-node composition; returns and records its critical path."""
+    """Master-node composition; returns its scheduling-clock price."""
     if len(rendered_pixels_per_gpm) != system.num_gpms:
         raise ValueError("need one pixel count per GPM")
     total_pixels = float(sum(rendered_pixels_per_gpm))
@@ -37,20 +46,21 @@ def compose_master(
         total_pixels, system.config.gpm, bytes_per_pixel, depth_bytes_per_pixel
     )
     per_pixel = bytes_per_pixel + depth_bytes_per_pixel
-    worst_link_cycles = 0.0
+    transfers: List[CompositionTransfer] = []
     for gpm_id, pixels in enumerate(rendered_pixels_per_gpm):
         if gpm_id == root or pixels <= 0:
             continue
-        nbytes = pixels * per_pixel
-        cycles = system.fabric.transfer(
-            gpm_id, root, nbytes, TrafficType.COMPOSITION
+        transfers.append(
+            CompositionTransfer(gpm_id, root, pixels * per_pixel)
         )
-        system.drams[root].serve_remote(nbytes)
-        worst_link_cycles = max(worst_link_cycles, cycles)
-    system.drams[root].write(total_pixels * bytes_per_pixel)
-    critical_path = max(cost.rop_cycles, worst_link_cycles)
-    system.add_composition_cycles(critical_path)
-    return critical_path
+    return system.engine.composition_phase(
+        CompositionSchedule(
+            label="compose-master",
+            rop_cycles={root: cost.rop_cycles},
+            transfers=tuple(transfers),
+            dram_writes=((root, total_pixels * bytes_per_pixel),),
+        )
+    )
 
 
 def compose_distributed(
@@ -59,7 +69,7 @@ def compose_distributed(
     bytes_per_pixel: float = 4.0,
     depth_bytes_per_pixel: float = 4.0,
 ) -> float:
-    """DHC composition; returns and records its critical path.
+    """DHC composition; returns its scheduling-clock price.
 
     Each GPM scatters its rendered pixels to the stripe owners: with
     ``n`` GPMs, ``(n-1)/n`` of each worker's pixels cross a link, but
@@ -74,7 +84,7 @@ def compose_distributed(
         total_pixels, system.config.gpm, n, bytes_per_pixel, depth_bytes_per_pixel
     )
     per_pixel = bytes_per_pixel + depth_bytes_per_pixel
-    worst_link_cycles = 0.0
+    transfers: List[CompositionTransfer] = []
     for src, pixels in enumerate(rendered_pixels_per_gpm):
         if pixels <= 0:
             continue
@@ -82,13 +92,15 @@ def compose_distributed(
         for dst in range(n):
             if dst == src:
                 continue
-            cycles = system.fabric.transfer(
-                src, dst, share, TrafficType.COMPOSITION
-            )
-            system.drams[dst].serve_remote(share)
-            worst_link_cycles = max(worst_link_cycles, cycles)
-    for gpm_id in range(n):
-        system.drams[gpm_id].write(total_pixels * bytes_per_pixel / n)
-    critical_path = max(cost.rop_cycles, worst_link_cycles)
-    system.add_composition_cycles(critical_path)
-    return critical_path
+            transfers.append(CompositionTransfer(src, dst, share))
+    return system.engine.composition_phase(
+        CompositionSchedule(
+            label="compose-dhc",
+            rop_cycles={gpm_id: cost.rop_cycles for gpm_id in range(n)},
+            transfers=tuple(transfers),
+            dram_writes=tuple(
+                (gpm_id, total_pixels * bytes_per_pixel / n)
+                for gpm_id in range(n)
+            ),
+        )
+    )

@@ -13,18 +13,23 @@ rather than reading it through the links during shading:
 - **OO-VR**'s PA units stage the same bytes but *ahead of time*, so the
   copy latency hides behind the previous batch (Section 5.2).
 
-The :class:`StagingManager` accounts those copies: per frame and per
-(resource, GPM) pair it tracks how much has been staged, transfers the
-shortfall over the fabric, replicates the pages locally (so render-time
-reads hit local DRAM), and optionally stalls the GPM for the
-non-overlapped part of the copy.
+The :class:`StagingManager` resolves those copies: per frame and per
+(resource, GPM) pair it tracks how much has been staged, replicates the
+pages locally (so render-time reads hit local DRAM) and computes the
+shortfall each touch still has to move.  The copy itself — byte
+accounting *and* pricing — is the execution engine's job: the manager
+emits the shortfalls as a staging flow
+(:meth:`~repro.engine.base.ExecutionEngine.stage_flow`), and the engine
+decides what the copy costs (the analytic overlap stall, or a
+contention-replayed wire flow under the event engine).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.engine.base import StageCopy, StageOutcome
 from repro.gpu.system import MultiGPUSystem
 from repro.memory.address import Touch
 from repro.memory.link import TrafficType
@@ -55,6 +60,12 @@ class StagingManager:
         self.staged_bytes = 0.0
 
     def _stage_touch(self, touch: Touch, gpm: int, scale: float = 1.0) -> float:
+        """Resolve one touch's placement; returns the copy shortfall.
+
+        Pure placement bookkeeping — the returned bytes still have to
+        be moved, which the engine does when :meth:`stage_unit` emits
+        the collected shortfalls as one staging flow.
+        """
         resource = touch.resource
         placement = self.system.placement
         if not placement.is_placed(resource):
@@ -79,33 +90,51 @@ class StagingManager:
         if shortfall <= 0:
             return 0.0
         self._staged[key] = wanted
-        src = (gpm + 1) % self.system.num_gpms
-        self.system.fabric.transfer(src, gpm, shortfall, self.traffic_type)
-        self.system.drams[gpm].write(shortfall)
         return shortfall
 
     def stage_unit(
-        self, unit: WorkUnit, gpm: int, factor_scale: float = 1.0
-    ) -> float:
-        """Stage everything ``unit`` needs on ``gpm``; returns the stall.
+        self,
+        unit: WorkUnit,
+        gpm: int,
+        factor_scale: float = 1.0,
+        overlap_from: Optional[float] = None,
+    ) -> StageOutcome:
+        """Stage everything ``unit`` needs on ``gpm``.
 
         Render-time texture reads are redirected to local DRAM by
         recording the staged copy; vertex buffers are tiny and stage
         along with the command stream.  ``factor_scale`` lets callers
         stage per view (tile-SFR copies each eye region's data even
-        though SMP shares the cached footprint).  Returns the stall
-        cycles the caller should charge (zero when prefetched).
+        though SMP shares the cached footprint).  ``overlap_from`` is
+        the PA path: the copy streams from that point in time and the
+        returned outcome carries when it lands.  All pricing — the
+        stall charged on a software copy, the overlapped arrival of a
+        prefetched one — is the engine's
+        (:meth:`~repro.engine.base.ExecutionEngine.stage_flow`).
         """
-        copied = 0.0
+        src = (gpm + 1) % self.system.num_gpms
+        copies: List[StageCopy] = []
         for touch in unit.texture_touches:
-            copied += self._stage_touch(touch, gpm, factor_scale)
+            copies.append(
+                StageCopy(
+                    src, gpm, self._stage_touch(touch, gpm, factor_scale),
+                    self.traffic_type,
+                )
+            )
         for touch in unit.vertex_touches:
-            copied += self._stage_touch(touch, gpm, factor_scale)
-        self.staged_bytes += copied
-        if copied <= 0 or self.prefetched:
-            return 0.0
-        stall = copied / (
-            self.system.config.link.bytes_per_cycle * self.parallelism
+            copies.append(
+                StageCopy(
+                    src, gpm, self._stage_touch(touch, gpm, factor_scale),
+                    self.traffic_type,
+                )
+            )
+        outcome = self.system.engine.stage_flow(
+            gpm,
+            copies,
+            parallelism=self.parallelism,
+            prefetched=self.prefetched,
+            overlap_from=overlap_from,
+            staged_before=self.staged_bytes,
         )
-        self.system.engine.stall(gpm, "stage", stall)
-        return stall
+        self.staged_bytes += outcome.copied_bytes
+        return outcome

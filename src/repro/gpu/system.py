@@ -21,14 +21,16 @@ pluggable :class:`~repro.engine.base.ExecutionEngine`
   for sort-last workers, strip-owned for tile-SFR and DHC);
 - **frame orchestration**: static per-GPM queues (the software schemes)
   or a dynamic dispatcher callback (the OO-VR distribution engine),
-  plus an optional composition pass, rolled up into a
-  :class:`~repro.stats.metrics.FrameResult` via the engine's
-  :class:`~repro.engine.trace.FrameTrace`.
+  rolled up into a :class:`~repro.stats.metrics.FrameResult` via the
+  engine's :class:`~repro.engine.trace.FrameTrace`.  Staging copies and
+  the composition barrier are engine-priced phases too
+  (:meth:`~repro.engine.base.ExecutionEngine.stage_flow` /
+  :meth:`~repro.engine.base.ExecutionEngine.composition_phase`) — the
+  system keeps no frame-timing state of its own.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig
@@ -48,13 +50,6 @@ FramebufferTargets = Mapping[int, float]
 
 #: Backwards-compatible alias; the mapping lives with the binder now.
 _KIND_TO_TRAFFIC = KIND_TO_TRAFFIC
-
-
-@dataclass
-class _FrameAccounting:
-    """Mutable per-frame bookkeeping."""
-
-    composition_cycles: float = 0.0
 
 
 class MultiGPUSystem:
@@ -92,7 +87,6 @@ class MultiGPUSystem:
         self.engine = build_engine(config.engine, self)
         #: Trace of the most recently rolled-up frame (diagnostics/CLI).
         self.last_trace: Optional[FrameTrace] = None
-        self._accounting = _FrameAccounting()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -118,7 +112,6 @@ class MultiGPUSystem:
         if not keep_placement:
             self.placement.reset()
         self.engine.begin_frame()
-        self._accounting = _FrameAccounting()
 
     # -- unit execution ------------------------------------------------------
 
@@ -163,34 +156,31 @@ class MultiGPUSystem:
                 )
         return executions
 
-    def add_composition_cycles(self, cycles: float) -> None:
-        """Record the composition-phase critical path for this frame."""
-        if cycles < 0:
-            raise ValueError("negative composition time")
-        self._accounting.composition_cycles += cycles
-
     def frame_result(self, framework: str, workload: str) -> FrameResult:
         """Roll the current frame's state into a result record.
 
         The engine finalises the frame into a
         :class:`~repro.engine.trace.FrameTrace` (kept on
-        :attr:`last_trace`): the analytic engine reports its scheduling
-        clock verbatim, the event engine replays the schedule through
-        its contention-aware simulation.  Byte counters (traffic, DRAM,
-        residency) come straight from the machine and are identical
-        under every engine.
+        :attr:`last_trace`) covering every phase — render lanes,
+        staging copies and the composition barrier: the analytic
+        engine reports its scheduling clock verbatim, the event engine
+        replays the schedule (staging and composition flows included)
+        through its contention-aware simulation.  Frame latency is the
+        trace's render critical path plus its composition barrier;
+        byte counters (traffic, DRAM, residency) come straight from
+        the machine and are identical under every engine.
         """
         trace = self.engine.finish_frame()
         self.last_trace = trace
         busy = list(trace.gpm_busy)
         render_critical_path = trace.render_critical_path
-        cycles = render_critical_path + self._accounting.composition_cycles
+        cycles = render_critical_path + trace.composition_cycles
         return FrameResult(
             framework=framework,
             workload=workload,
             cycles=max(cycles, 1.0),
             gpm_busy_cycles=busy,
-            composition_cycles=self._accounting.composition_cycles,
+            composition_cycles=trace.composition_cycles,
             traffic=TrafficBreakdown(self.fabric.bytes_by_type()),
             dram_bytes=[d.total_bytes for d in self.drams],
             resident_bytes=self.placement.total_resident_bytes,

@@ -198,6 +198,24 @@ class SceneResult:
         return 1e9 / self.frame_interval_cycles
 
     @property
+    def single_frame_render_cycles(self) -> float:
+        """Steady-state pre-barrier latency (frame minus composition).
+
+        Covers the render window — work units, staging stalls and (for
+        the event engine) the time background PA/staging flows steal
+        from render traffic; the phase-resolved engine-contention
+        study compares this across engines.
+        """
+        frames = self.steady_frames
+        return sum(f.cycles - f.composition_cycles for f in frames) / len(frames)
+
+    @property
+    def single_frame_composition_cycles(self) -> float:
+        """Steady-state composition-barrier latency (0.0 when none)."""
+        frames = self.steady_frames
+        return sum(f.composition_cycles for f in frames) / len(frames)
+
+    @property
     def traffic(self) -> TrafficBreakdown:
         out = TrafficBreakdown({})
         for frame in self.frames:

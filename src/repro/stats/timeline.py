@@ -31,8 +31,23 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 
 __all__ = ["dispatch_timeline", "trace_timeline"]
 
-#: Glyph per trace-interval kind (render / staging stall / steal slice).
-_KIND_GLYPHS = {"render": "█", "stall": "▒", "steal": "◆"}
+#: Glyph per trace-interval kind: render unit / staging stall / steal
+#: slice / composition barrier (main lane) and background staging
+#: copies (the per-GPM ``dma`` lane).
+_KIND_GLYPHS = {
+    "render": "█",
+    "stall": "▒",
+    "steal": "◆",
+    "compose": "▣",
+    "stage": "═",
+}
+
+
+def _paint(cells, start: float, end: float, scale: float, glyph: str) -> None:
+    lo = int(start * scale)
+    hi = max(lo + 1, int(end * scale))
+    for cell in range(lo, min(hi, len(cells))):
+        cells[cell] = glyph
 
 
 def trace_timeline(trace: "FrameTrace", width: int = 60) -> str:
@@ -40,29 +55,47 @@ def trace_timeline(trace: "FrameTrace", width: int = 60) -> str:
 
     Every interval lands where the engine timed it, so idle bubbles
     show up in place (unlike :func:`dispatch_timeline`'s end-to-end
-    packing).  Busy percentages are occupied cycles over the render
-    critical path.
+    packing).  Each GPM gets its render lane (units, staging stalls,
+    steal slices, then the composition barrier after the render ends);
+    GPMs whose copy engines streamed background staging/PA flows get an
+    extra ``dma`` lane underneath, since those copies overlap rendering
+    rather than occupying the GPM.  Busy percentages are render-lane
+    cycles over the render critical path; the horizon spans the whole
+    frame, composition included.
     """
     if width < 10:
         raise ValueError("width must be at least 10 columns")
     if not trace.intervals:
         raise ValueError("trace has no intervals to draw")
-    horizon = trace.render_critical_path or 1.0
+    horizon = trace.frame_cycles or 1.0
     scale = width / horizon
     lines = []
+    kinds_present = set()
     for gpm in range(trace.num_gpms):
         cells = ["·"] * width
+        dma_cells = ["·"] * width
+        has_dma = False
         for span in trace.intervals_for(gpm):
-            lo = int(span.start * scale)
-            hi = max(lo + 1, int(span.end * scale))
+            kinds_present.add(span.kind)
             glyph = _KIND_GLYPHS.get(span.kind, "█")
-            for cell in range(lo, min(hi, width)):
-                cells[cell] = glyph
+            if span.kind == "stage":
+                _paint(dma_cells, span.start, span.end, scale, glyph)
+                has_dma = True
+            else:
+                _paint(cells, span.start, span.end, scale, glyph)
         busy = 100.0 * trace.utilisation(gpm)
         lines.append(f"GPM{gpm} |{''.join(cells)}| {busy:3.0f}% busy")
+        if has_dma:
+            lines.append(f"dma{gpm} |{''.join(dma_cells)}|")
+    legend = ["█ render", "▒ staging stall"]
+    if "stage" in kinds_present:
+        legend.append("═ staging copy")
+    legend.append("◆ stolen slice")
+    if "compose" in kinds_present:
+        legend.append("▣ compose")
+    legend.append("· idle")
     lines.append(
-        f"{'':5} █ render   ▒ staging stall   ◆ stolen slice   · idle"
-        f"   ({trace.engine} engine)"
+        f"{'':5} " + "   ".join(legend) + f"   ({trace.engine} engine)"
     )
     return "\n".join(lines)
 

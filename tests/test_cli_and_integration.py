@@ -48,6 +48,36 @@ class TestCLI:
         assert "single frame" in out
         assert "traffic by type" in out
 
+    def test_unknown_engine_is_a_one_line_error(self, capsys):
+        # No traceback, exit 2, and the message lists what *would* work.
+        assert cli.main(["run", "oo-vr", "DM3-640", "--engine", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.splitlines() == [
+            "error: unknown execution engine 'bogus'; "
+            "have ['analytic', 'event']"
+        ]
+        assert (
+            cli.main(
+                ["sweep", "--frameworks", "baseline", "--workloads", "WE",
+                 "--fast", "--engine", "bogus"]
+            )
+            == 2
+        )
+        assert "unknown execution engine 'bogus'" in capsys.readouterr().err
+
+    def test_event_engine_run_shows_all_lanes(self, capsys):
+        assert (
+            cli.main(["run", "oo-app", "HL2-640", "--fast", "--engine", "event"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "frame trace (last frame, event engine):" in out
+        # Full-frame coverage: render, staging-stall and compose lanes
+        # all appear in the legend of a scheme that has all three.
+        assert "█ render" in out
+        assert "▒ staging stall" in out
+        assert "▣ compose" in out
+
     def test_trace_record_info_replay(self, capsys, tmp_path):
         trace = str(tmp_path / "dm3.json.gz")
         assert cli.main(["trace", "record", "DM3-640", trace, "--fast"]) == 0

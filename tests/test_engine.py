@@ -422,6 +422,12 @@ class TestAnalyticTrace:
         trace = framework.last_system.last_trace
         for gpm in range(trace.num_gpms):
             for span in trace.intervals_for(gpm):
+                if span.kind == "compose":
+                    # The composition barrier runs after the render
+                    # lane drains; it is bounded by the frame, not by
+                    # the GPM's render end.
+                    assert span.end <= trace.frame_cycles + 1e-6
+                    continue
                 assert span.end <= trace.gpm_end[gpm] + 1e-6
 
     def test_next_idle_prefers_lowest_id_on_ties(self, config):
@@ -638,6 +644,270 @@ class TestEventEngine:
 
 
 # ---------------------------------------------------------------------------
+# Full-frame engine coverage: staging and composition phases
+# ---------------------------------------------------------------------------
+
+
+def _event_trace_summary(framework, workload="HL2-640"):
+    """The fixed-spec trace summary the committed goldens freeze."""
+    session = (
+        Session()
+        .framework(framework)
+        .workload(workload)
+        .frames(1)
+        .scale(0.1)
+        .engine("event")
+    )
+    session.run()
+    return session.last_framework.last_system.last_trace.phase_summary()
+
+
+def regenerate_event_golden():  # pragma: no cover - maintenance helper
+    """Rewrite the event-engine goldens after a *deliberate* change.
+
+    Run from the repo root::
+
+        PYTHONPATH=src:. python -c \
+            "from tests.test_engine import regenerate_event_golden; \
+             regenerate_event_golden()"
+    """
+    import json
+    import pathlib
+
+    golden = pathlib.Path(__file__).parent.parent / "benchmarks" / "golden"
+    for framework, stem in (
+        ("oo-vr", "event_trace_oovr"),
+        ("oo-app", "event_trace_ooapp"),
+    ):
+        path = golden / f"{stem}_hl2-640.json"
+        path.write_text(
+            json.dumps(
+                _event_trace_summary(framework), indent=2, sort_keys=True
+            )
+            + "\n"
+        )
+        print(f"wrote {path}")
+
+
+class TestFullFrameCoverage:
+    """Staging and composition are engine-priced phases, both engines."""
+
+    @pytest.mark.parametrize("framework", ["object", "oo-vr"])
+    def test_single_gpm_conservation(self, framework):
+        """Acceptance: per-phase bytes agree and phase cycles conserve.
+
+        On one GPM nothing crosses a link, so both engines must report
+        identical (all-zero) per-phase byte totals, and the event
+        engine's phase decomposition must sum exactly to the frame
+        latency it reports.
+        """
+        scene = fast_scene()
+        cfg = baseline_system(num_gpms=1)
+        outcomes = {}
+        for engine_name in ("analytic", "event"):
+            framework_obj = build_framework(
+                framework, cfg.with_engine(engine_name)
+            )
+            result = framework_obj.render_scene(scene)
+            outcomes[engine_name] = (
+                result,
+                framework_obj.last_system.last_trace,
+            )
+        a_trace = outcomes["analytic"][1]
+        e_trace = outcomes["event"][1]
+        assert dict(a_trace.phase_link_bytes) == dict(e_trace.phase_link_bytes)
+        assert all(v == 0.0 for v in e_trace.phase_link_bytes.values())
+        e_result = outcomes["event"][0]
+        phases = e_trace.phase_cycles()
+        assert set(phases) == {"render", "staging", "composition"}
+        assert sum(phases.values()) == pytest.approx(
+            e_result.frames[-1].cycles, rel=1e-12
+        )
+        # With a lone GPM there is nothing to contend with: the event
+        # engine's composition barrier equals the analytic price too.
+        assert e_trace.composition_cycles == pytest.approx(
+            a_trace.composition_cycles, rel=1e-9
+        )
+
+    @pytest.mark.parametrize("framework", ["object", "oo-app", "oo-vr", "tile-v"])
+    def test_phase_bytes_identical_across_engines(self, framework):
+        """Flow accounting is shared: per-phase bytes never diverge."""
+        scene = fast_scene()
+        cfg = baseline_system()
+        traces = {}
+        results = {}
+        for engine_name in ("analytic", "event"):
+            framework_obj = build_framework(
+                framework, cfg.with_engine(engine_name)
+            )
+            results[engine_name] = framework_obj.render_scene(scene)
+            traces[engine_name] = framework_obj.last_system.last_trace
+        assert dict(traces["analytic"].phase_link_bytes) == dict(
+            traces["event"].phase_link_bytes
+        )
+        # Phase totals tile the fabric's frame total exactly: the trace
+        # accounts every byte the fabric counted, no more, no less.
+        last_frame_total = sum(traces["analytic"].phase_link_bytes.values())
+        assert last_frame_total == pytest.approx(
+            results["analytic"].frames[-1].inter_gpm_bytes, rel=1e-9
+        )
+
+    def test_event_phase_cycles_conserve_multi_gpm(self):
+        """The phase decomposition sums to the frame on any machine."""
+        for framework in ("oo-app", "oo-vr", "tile-v"):
+            framework_obj = build_framework(
+                framework, baseline_system().with_engine("event")
+            )
+            result = framework_obj.render_scene(fast_scene())
+            trace = framework_obj.last_system.last_trace
+            assert sum(trace.phase_cycles().values()) == pytest.approx(
+                result.frames[-1].cycles, rel=1e-12
+            )
+
+    def test_pa_copies_become_background_stage_lane(self):
+        """OO-VR's PA flows show up as a stage lane, not GPM time."""
+        framework = build_framework(
+            "oo-vr", baseline_system().with_engine("event")
+        )
+        framework.render_scene(fast_scene())
+        trace = framework.last_system.last_trace
+        stage_spans = [s for s in trace.intervals if s.kind == "stage"]
+        assert stage_spans, "PA copies should appear as background flows"
+        # Background copies do not occupy the GPM: busy excludes them.
+        for gpm in range(trace.num_gpms):
+            lane = sum(
+                s.cycles
+                for s in trace.intervals_for(gpm)
+                if s.kind in ("render", "stall", "steal")
+            )
+            assert trace.gpm_busy[gpm] == pytest.approx(lane, rel=1e-9)
+        assert trace.phase_link_bytes["staging"] > 0
+
+    def test_software_staging_stall_is_a_wire_flow(
+        self, config, characterizer, pool
+    ):
+        """A staging stall lasts its analytic price uncontended."""
+        from repro.gpu.staging import StagingManager
+
+        ends = {}
+        for engine_name in ("analytic", "event"):
+            system = MultiGPUSystem(config.with_engine(engine_name))
+            system.begin_frame()
+            unit = unit_for(characterizer, pool)
+            staging = StagingManager(system)
+            staging.stage_unit(unit, 1)  # first touch: home, free
+            outcome = staging.stage_unit(unit, 2)  # real copy
+            assert outcome.stall_cycles > 0
+            ends[engine_name] = system.engine.finish_frame().gpm_end[2]
+        assert ends["event"] == pytest.approx(ends["analytic"], rel=1e-9)
+
+    @pytest.mark.parametrize("prefetched", [False, True])
+    def test_staging_copies_are_hop_blind_uncontended(
+        self, config, characterizer, pool, prefetched
+    ):
+        """Copies drain at the analytic rate on routed fabrics too.
+
+        The analytic copy model is hop-blind (a pipelined DMA stream at
+        raw link bandwidth), so an uncontended event-engine staging
+        flow must last exactly the analytic stall/copy time even when
+        its route crosses a 2-hop switch — regression for the rate
+        being hop-serialised like render flows.
+        """
+        from repro.extensions.topology import Topology, install_topology
+        from repro.gpu.staging import StagingManager
+
+        spans = {}
+        stalls = {}
+        for engine_name in ("analytic", "event"):
+            system = MultiGPUSystem(config.with_engine(engine_name))
+            install_topology(system, Topology.SWITCH)
+            system.begin_frame()
+            unit = unit_for(characterizer, pool)
+            staging = StagingManager(system, prefetched=prefetched)
+            staging.stage_unit(unit, 1)  # first touch: home, free
+            outcome = staging.stage_unit(unit, 2)  # real 2-hop copy
+            assert outcome.copied_bytes > 0
+            stalls[engine_name] = outcome.stall_cycles
+            trace = system.engine.finish_frame()
+            spans[engine_name] = trace
+        assert stalls["event"] == stalls["analytic"]
+        if prefetched:
+            # The background copy drains in bytes/link_bw, the rate the
+            # scheduling clock's PA landing time assumes.
+            stage = [
+                s for s in spans["event"].intervals if s.kind == "stage"
+            ]
+            assert len(stage) == 1
+            copied = stage[0].cycles * config.link.bytes_per_cycle
+            # Phase byte totals are logical (each copy counted once,
+            # like the routed fabric's per-type counters).
+            assert copied == pytest.approx(
+                spans["event"].phase_link_bytes["staging"], rel=1e-9
+            )
+        else:
+            assert spans["event"].gpm_end[2] == pytest.approx(
+                spans["analytic"].gpm_end[2], rel=1e-9
+            )
+
+    def test_composition_lanes_render_both_engines(self):
+        """`oovr run --engine event` acceptance: all three lanes."""
+        from repro.stats.timeline import trace_timeline
+
+        framework = build_framework(
+            "oo-app", baseline_system().with_engine("event")
+        )
+        framework.render_scene(fast_scene())
+        trace = framework.last_system.last_trace
+        kinds = {span.kind for span in trace.intervals}
+        assert {"render", "stall", "compose"} <= kinds
+        text = trace_timeline(trace)
+        assert "▣ compose" in text
+        assert "▒ staging stall" in text
+
+    def test_event_composition_stretches_on_shared_switch(self):
+        """DHC's all-pairs scatter queues on a central switch."""
+        scene = fast_scene()
+        cfg = baseline_system().with_link_bandwidth(16.0)
+        analytic = build_framework("oo-vr:topo=switch", cfg)
+        analytic.render_scene(scene)
+        event = build_framework("oo-vr:topo=switch:engine=event", cfg)
+        event.render_scene(scene)
+        a_comp = analytic.last_system.last_trace.composition_cycles
+        e_comp = event.last_system.last_trace.composition_cycles
+        assert e_comp > a_comp * 1.5
+
+    @pytest.mark.parametrize(
+        "framework,stem",
+        [("oo-vr", "event_trace_oovr"), ("oo-app", "event_trace_ooapp")],
+    )
+    def test_event_golden_trace_summary(self, framework, stem):
+        """Event-engine timing changes must be deliberate.
+
+        Compares the fixed-spec per-phase summary against the committed
+        golden byte for byte.  If a model change is intentional,
+        regenerate with :func:`regenerate_event_golden` and commit the
+        diff alongside the change that explains it.
+        """
+        import json
+        import pathlib
+
+        golden = (
+            pathlib.Path(__file__).parent.parent
+            / "benchmarks"
+            / "golden"
+            / f"{stem}_hl2-640.json"
+        )
+        expected = golden.read_text()
+        actual = (
+            json.dumps(
+                _event_trace_summary(framework), indent=2, sort_keys=True
+            )
+            + "\n"
+        )
+        assert actual == expected
+
+
+# ---------------------------------------------------------------------------
 # Empty scenes (regression: used to ZeroDivisionError)
 # ---------------------------------------------------------------------------
 
@@ -699,3 +969,34 @@ class TestEngineContentionStudy:
         )
         assert cache.stats.stores == stored
         assert again.series == figure.series
+
+    def test_phase_breakdown_shares_the_grid(self, tmp_path):
+        from repro.experiments.engines import (
+            CONTENTION_PHASES,
+            engine_contention_phases,
+            engine_contention_study,
+        )
+
+        cache = ResultCache(tmp_path)
+        frameworks = ("baseline", "oo-vr:topo=switch")
+        kwargs = dict(
+            frameworks=frameworks,
+            link_bandwidths=(16.0,),
+            workloads=("HL2-640",),
+            cache=cache,
+        )
+        engine_contention_study(FAST, **kwargs)
+        stored = cache.stats.stores
+        phases = engine_contention_phases(FAST, **kwargs)
+        # Identical grid: the phase view is pure cache hits.
+        assert cache.stats.stores == stored
+        assert set(phases.series) == {
+            f"{framework} [{phase}]"
+            for framework in frameworks
+            for phase in CONTENTION_PHASES
+        }
+        # The interleaved baseline has no composition barrier: its
+        # composition factor is the exact 1.0 placeholder.
+        assert phases.series["baseline [composition]"]["16GB/s"] == 1.0
+        # OO-VR's DHC barrier queues on the shared switch.
+        assert phases.series["oo-vr:topo=switch [composition]"]["16GB/s"] > 1.2

@@ -39,6 +39,103 @@ class TestRegistry:
         assert fw.config.num_gpms == 2
 
 
+class TestVariantGrammarErrors:
+    """Every ``raise KeyError`` branch of the variant grammar, by message.
+
+    The grammar (:mod:`repro.frameworks.variants`) is the only parser
+    between user-supplied framework names (CLI, RunSpec, cached specs)
+    and framework construction, so each malformed spelling must fail
+    loudly with an actionable message rather than half-building.
+    """
+
+    def _rejects(self, name, match):
+        from repro.frameworks.variants import build_variant, validate_variant
+
+        with pytest.raises(KeyError, match=match):
+            validate_variant(name)
+        # build_variant shares the parser: same rejection, nothing built.
+        with pytest.raises(KeyError, match=match):
+            build_variant(name)
+
+    def test_trailing_separator_is_malformed(self):
+        self._rejects("oo-vr:", "malformed framework variant 'oo-vr:'")
+
+    def test_empty_modifier_is_malformed(self):
+        self._rejects("oo-vr::fov", "malformed framework variant")
+
+    def test_unknown_modifier(self):
+        self._rejects(
+            "oo-vr:turbo",
+            "unknown framework variant modifier 'turbo' in 'oo-vr:turbo'",
+        )
+
+    def test_unknown_base(self):
+        self._rejects("sort-middle:fov", "unknown framework 'sort-middle'")
+
+    def test_ablation_requires_oovr_base(self):
+        self._rejects(
+            "baseline:no-dhc",
+            "ablation variant 'no-dhc' applies to 'oo-vr', not 'baseline'",
+        )
+
+    def test_middleware_requires_oovr_base(self):
+        self._rejects(
+            "baseline:tsl=0.3",
+            "middleware modifier 'tsl=0.3' applies to 'oo-vr', "
+            "not 'baseline'",
+        )
+        self._rejects(
+            "afr:cap=8192",
+            "middleware modifier 'cap=8192' applies to 'oo-vr', not 'afr'",
+        )
+
+    def test_constructor_modifiers_do_not_combine(self):
+        # Ablation after middleware, middleware after ablation, and
+        # double ablation all hit the incompatible-constructor branch.
+        match = "combines incompatible constructor modifiers"
+        self._rejects("oo-vr:tsl=0.3:no-dhc", match)
+        self._rejects("oo-vr:no-dhc:tsl=0.3", match)
+        self._rejects("oo-vr:no-dhc:no-stealing", match)
+
+    def test_malformed_tsl_value(self):
+        self._rejects(
+            "oo-vr:tsl=warm",
+            "malformed tsl value 'warm' in variant 'oo-vr:tsl=warm'",
+        )
+
+    def test_malformed_cap_value(self):
+        # ints are parsed strictly: a float spelling is malformed too.
+        self._rejects(
+            "oo-vr:cap=many",
+            "malformed cap value 'many' in variant 'oo-vr:cap=many'",
+        )
+        self._rejects("oo-vr:cap=4096.5", "malformed cap value '4096.5'")
+
+    def test_unknown_topology(self):
+        self._rejects(
+            "baseline:topo=torus",
+            "unknown topology 'torus'",
+        )
+
+    def test_unknown_engine(self):
+        self._rejects(
+            "baseline:engine=quantum",
+            "unknown execution engine 'quantum'",
+        )
+
+    def test_wrapper_modifiers_still_stack(self):
+        # Guard against over-tight rejection: the legal spellings the
+        # error paths sit between keep building.
+        from repro.frameworks.variants import validate_variant
+
+        for name in (
+            "oo-vr:no-dhc",
+            "oo-vr:tsl=0.3:topo=ring:fov",
+            "baseline:topo=switch:engine=event",
+        ):
+            validate_variant(name)
+
+
 class TestEverySchemeRuns:
     def test_all_produce_results(self, results):
         for name, result in results.items():

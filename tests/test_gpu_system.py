@@ -117,12 +117,21 @@ class TestRunQueuesAndResult:
         assert all(b > 0 for b in result.gpm_busy_cycles)
 
     def test_composition_adds_to_latency(self, system, characterizer, pool):
+        from repro.engine.base import CompositionSchedule
+
         unit = unit_for(characterizer, pool)
         system.execute_unit(unit, 0, fb_targets={0: 1.0})
         before = system.frame_result("t", "w").cycles
-        system.add_composition_cycles(12_345.0)
+        system.engine.composition_phase(
+            CompositionSchedule(label="compose", rop_cycles={0: 12_345.0})
+        )
         after = system.frame_result("t", "w").cycles
         assert after == pytest.approx(before + 12_345.0)
+        trace = system.last_trace
+        assert trace.composition_cycles == pytest.approx(12_345.0)
+        assert trace.frame_cycles == pytest.approx(after)
+        kinds = [span.kind for span in trace.intervals]
+        assert "compose" in kinds
 
     def test_begin_frame_resets(self, system, characterizer, pool):
         unit = unit_for(characterizer, pool)
@@ -193,8 +202,9 @@ class TestStagingManager:
     def test_first_touch_stage_is_free(self, system, characterizer, pool):
         staging = StagingManager(system)
         unit = unit_for(characterizer, pool)
-        stall = staging.stage_unit(unit, 1)
-        assert stall == 0.0
+        outcome = staging.stage_unit(unit, 1)
+        assert outcome.stall_cycles == 0.0
+        assert outcome.copied_bytes == 0.0
         assert staging.staged_bytes == 0.0
         assert system.fabric.total_bytes == 0.0
 
@@ -202,9 +212,10 @@ class TestStagingManager:
         staging = StagingManager(system)
         unit = unit_for(characterizer, pool)
         staging.stage_unit(unit, 1)  # home
-        stall = staging.stage_unit(unit, 2)  # copy to another GPM
+        outcome = staging.stage_unit(unit, 2)  # copy to another GPM
         assert staging.staged_bytes > 0
-        assert stall > 0
+        assert outcome.stall_cycles > 0
+        assert outcome.copied_bytes == pytest.approx(staging.staged_bytes)
         assert system.fabric.total_bytes == pytest.approx(staging.staged_bytes)
 
     def test_staged_reads_become_local(self, system, characterizer, pool):
@@ -240,8 +251,8 @@ class TestStagingManager:
         unit = unit_for(characterizer, pool)
         staging.stage_unit(unit, 3)
         staging.begin_frame()
-        stall = staging.stage_unit(unit, 3)
-        assert stall == 0.0
+        outcome = staging.stage_unit(unit, 3)
+        assert outcome.stall_cycles == 0.0
         assert staging.staged_bytes == 0.0
 
     def test_prefetched_no_stall(self, system, characterizer, pool):
@@ -249,8 +260,8 @@ class TestStagingManager:
         unit = unit_for(characterizer, pool)
         staging.stage_unit(unit, 1)
         busy_before = system.gpms[2].busy_cycles
-        stall = staging.stage_unit(unit, 2)
-        assert stall == 0.0
+        outcome = staging.stage_unit(unit, 2)
+        assert outcome.stall_cycles == 0.0
         assert system.gpms[2].busy_cycles == busy_before
         assert staging.staged_bytes > 0
 
