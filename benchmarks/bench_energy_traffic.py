@@ -10,7 +10,13 @@ Two reports:
   cost is negligible next to the link energy it removes.
 """
 
-from benchmarks.conftest import BENCH, BENCH_CACHE, record_output
+from benchmarks.conftest import (
+    BENCH,
+    BENCH_CACHE,
+    BENCH_EXECUTOR,
+    BENCH_JOBS,
+    record_output,
+)
 from repro.energy import (
     EnergyConstants,
     EnergyModel,
@@ -24,9 +30,17 @@ SCHEMES = ("baseline", "object", "oo-vr")
 
 
 def run_energy():
-    link_figure = energy_report(BENCH, cache=BENCH_CACHE)
+    link_figure = energy_report(
+        BENCH, cache=BENCH_CACHE, jobs=BENCH_JOBS, executor=BENCH_EXECUTOR
+    )
     suites = {
-        name: run_framework_suite(name, BENCH, cache=BENCH_CACHE)
+        name: run_framework_suite(
+            name,
+            BENCH,
+            cache=BENCH_CACHE,
+            jobs=BENCH_JOBS,
+            executor=BENCH_EXECUTOR,
+        )
         for name in SCHEMES
     }
     board = compare_frameworks(

@@ -21,7 +21,13 @@ back in the render window, and how much the DHC all-pairs scatter
 queues at the barrier.
 """
 
-from benchmarks.conftest import BENCH, BENCH_CACHE, record_output
+from benchmarks.conftest import (
+    BENCH,
+    BENCH_CACHE,
+    BENCH_EXECUTOR,
+    BENCH_JOBS,
+    record_output,
+)
 from repro.experiments.engines import (
     CONTENTION_BANDWIDTHS_GB,
     CONTENTION_FRAMEWORKS,
@@ -43,6 +49,8 @@ def run_engine_contention():
         BENCH,
         workloads=WORKLOADS,
         cache=BENCH_CACHE,
+        jobs=BENCH_JOBS,
+        executor=BENCH_EXECUTOR,
     )
     figure = engine_contention_study(
         BENCH,

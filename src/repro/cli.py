@@ -14,6 +14,10 @@ Every experiment command is a thin wrapper over the Session/Sweep API
     oovr run oo-vr HL2-1280 --engine event  # contention-aware timing
     oovr sweep --fast --engine event  # whole grid on the event engine
     oovr sweep --fast --cache .oovr-cache  # memoise cells on disk
+    oovr sweep --fast --progress      # one line per completed cell
+    oovr sweep --fast --shard 0/2 --cache shard0  # this host's slice
+    oovr cache merge merged shard0 shard1  # gather scattered shards
+    oovr cache manifest merged   # audit shard coverage of a cache
     oovr cache info .oovr-cache  # entry count and footprint
     oovr cache clear .oovr-cache # drop every cached result
     oovr list                   # list frameworks and workloads
@@ -34,19 +38,37 @@ from repro.experiments import figures, tables
 from repro.frameworks.base import build_framework, framework_names
 from repro.scene.benchmarks import WORKLOADS
 from repro.session import (
+    EXECUTOR_NAMES,
     FAST,
     FULL,
+    CacheMergeError,
+    ExecutorError,
     ResultCache,
     Session,
     SessionError,
     SpecError,
     Sweep,
+    spec_key,
 )
 from repro.trace import load_scene, profile_scene, save_scene
 
 
 def _experiment(args: argparse.Namespace):
     return FAST if getattr(args, "fast", False) else FULL
+
+
+def _progress_line(spec, result, cached) -> None:
+    """One ``--progress`` line per completed cell (stderr, grid order)."""
+    status = "hit " if cached else "miss"
+    print(
+        f"[{spec_key(spec)[:12]}] {status} {spec.framework} "
+        f"{spec.workload} ({spec.config_label})",
+        file=sys.stderr,
+    )
+
+
+def _on_result(args: argparse.Namespace):
+    return _progress_line if getattr(args, "progress", False) else None
 
 
 def _cmd_fig(args: argparse.Namespace) -> int:
@@ -57,7 +79,9 @@ def _cmd_fig(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    result = figures.FIGURES[key](_experiment(args), jobs=args.jobs)
+    result = figures.FIGURES[key](
+        _experiment(args), jobs=args.jobs, on_result=_on_result(args)
+    )
     print(result.to_text())
     if args.chart:
         print()
@@ -157,7 +181,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.seed is not None:
         sweep.seed(args.seed)
     cache = ResultCache(args.cache) if args.cache else None
-    results = sweep.run(jobs=args.jobs, cache=cache)
+    if args.shard and not args.cache:
+        print(
+            "note: --shard without --cache computes this slice but "
+            "persists nothing; pass --cache DIR to scatter across hosts",
+            file=sys.stderr,
+        )
+    results = sweep.run(
+        jobs=args.jobs,
+        cache=cache,
+        executor=args.executor,
+        shard=args.shard,
+        on_result=_on_result(args),
+    )
 
     from repro.stats.reporting import format_table
 
@@ -173,12 +209,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         for record in results.to_records()
     ]
+    title = f"sweep: {len(results)} runs ({args.jobs} jobs)"
+    if args.shard:
+        title += f", shard {args.shard}"
     print(
         format_table(
             ("framework", "workload", "config", "Mcycles",
              "FPS@1GHz", "MB/frame", "imbalance"),
             rows,
-            title=f"sweep: {len(results)} runs ({args.jobs} jobs)",
+            title=title,
         )
     )
     if cache is not None:
@@ -210,6 +249,103 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     removed = cache.clear()
     print(f"cleared {removed} cached result(s) from {args.dir}")
     return 0
+
+
+def _cmd_cache_merge(args: argparse.Namespace) -> int:
+    import os
+
+    for source in args.sources:
+        if not os.path.isdir(source):
+            print(f"error: no cache directory at {source}", file=sys.stderr)
+            return 2
+    destination = ResultCache(args.dst)
+    for source in args.sources:
+        try:
+            stats = destination.merge(source, on_conflict=args.on_conflict)
+        except CacheMergeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"merged {source} -> {args.dst}: {stats.summary()}")
+    print(f"{args.dst}: {len(destination)} entr(y/ies) total")
+    return 0
+
+
+def _cmd_cache_manifest(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.session.executor import ShardManifest, shard_manifest_paths
+
+    if not os.path.isdir(args.dir):
+        print(f"error: no cache directory at {args.dir}", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.dir)
+    present = set(cache.keys())
+    print(f"cache at {args.dir}: {len(present)} entr(y/ies)")
+    manifests = []
+    complete = True
+    for path in shard_manifest_paths(args.dir):
+        try:
+            manifests.append(ShardManifest.load(path))
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            # A torn or version-skewed manifest is an audit failure,
+            # not a crash.
+            print(f"  unreadable shard manifest {path.name}: {error}")
+            complete = False
+    if not manifests:
+        if complete:
+            print(
+                "no shard manifests (cache was not written by --shard runs)"
+            )
+            return 0
+        return 1
+    manifests.sort(
+        key=lambda m: (m.grid_key, m.shard_count, m.shard_index)
+    )
+    grid: set = set()
+    claimed: dict = {}
+    for manifest in manifests:
+        owned = manifest.owned_keys
+        missing = [key for key in owned if key not in present]
+        grid.update(owned)
+        grid.update(manifest.skipped_keys)
+        label = (
+            f"grid {manifest.grid_key[:12]} shard "
+            f"{manifest.shard_index}/{manifest.shard_count}"
+        )
+        print(
+            f"  {label}: owns {len(owned)}, present "
+            f"{len(owned) - len(missing)}, missing {len(missing)}, "
+            f"skipped {len(manifest.skipped_keys)}"
+        )
+        if missing:
+            complete = False
+            for key in missing:
+                print(f"    missing {key[:12]}…")
+        for key in owned:
+            # Ownership is disjoint only within one (grid, N-way)
+            # scatter: two different grids legitimately share cells.
+            owner = (
+                manifest.grid_key,
+                manifest.shard_count,
+                manifest.shard_index,
+            )
+            scatter = owner[:2]
+            if claimed.get((scatter, key), owner) != owner:
+                complete = False
+                other = claimed[(scatter, key)]
+                print(
+                    f"    overlap: {key[:12]}… owned by shard "
+                    f"{other[2]}/{other[1]} and {label}"
+                )
+            claimed[(scatter, key)] = owner
+    covered = len(grid & present)
+    print(
+        f"coverage: {covered}/{len(grid)} grid cells present across "
+        f"{len(manifests)} shard manifest(s)"
+    )
+    if covered < len(grid):
+        complete = False
+    return 0 if complete else 1
 
 
 def _cmd_trace_record(args: argparse.Namespace) -> int:
@@ -351,6 +487,10 @@ def make_parser() -> argparse.ArgumentParser:
     fig.add_argument(
         "--chart", action="store_true", help="also draw a terminal bar chart"
     )
+    fig.add_argument(
+        "--progress", action="store_true",
+        help="print one line per completed grid cell to stderr",
+    )
     fig.set_defaults(func=_cmd_fig)
 
     table = sub.add_parser("table", help="reproduce a table")
@@ -409,9 +549,28 @@ def make_parser() -> argparse.ArgumentParser:
         "cell, overriding variant/config selections (part of the "
         "cache key when not 'analytic')",
     )
+    sweep.add_argument(
+        "--executor", metavar="NAME", default=None,
+        help=f"execution backend ({'/'.join(EXECUTOR_NAMES)}; default: "
+        "serial, or process when --jobs > 1)",
+    )
+    sweep.add_argument(
+        "--shard", metavar="I/N", default=None,
+        help="execute only shard I of an N-way deterministic partition "
+        "of the grid (0-based; cells are assigned by spec_key, so the "
+        "same grid shards identically on every host); with --cache, "
+        "records a shard manifest next to the entries",
+    )
+    sweep.add_argument(
+        "--progress", action="store_true",
+        help="print one line per completed cell (key prefix, hit/miss, "
+        "framework, workload) to stderr",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
-    cache = sub.add_parser("cache", help="inspect/clear a result cache")
+    cache = sub.add_parser(
+        "cache", help="inspect/clear/merge result caches"
+    )
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     cache_info = cache_sub.add_parser("info", help="entry count and bytes")
     cache_info.add_argument("dir", help="cache directory")
@@ -419,6 +578,30 @@ def make_parser() -> argparse.ArgumentParser:
     cache_clear = cache_sub.add_parser("clear", help="drop every entry")
     cache_clear.add_argument("dir", help="cache directory")
     cache_clear.set_defaults(func=_cmd_cache)
+    cache_merge = cache_sub.add_parser(
+        "merge",
+        help="fold per-shard cache directories into one (atomic per "
+        "entry, conflicts detected)",
+    )
+    cache_merge.add_argument("dst", help="destination cache directory")
+    cache_merge.add_argument(
+        "sources", nargs="+", metavar="src",
+        help="source cache directories (merged in order)",
+    )
+    cache_merge.add_argument(
+        "--on-conflict", choices=("error", "keep", "replace"),
+        default="error",
+        help="what to do when both sides hold different results for "
+        "one key (default: error)",
+    )
+    cache_merge.set_defaults(func=_cmd_cache_merge)
+    cache_manifest = cache_sub.add_parser(
+        "manifest",
+        help="audit shard manifests: per-shard ownership, missing "
+        "entries, grid coverage (exit 1 when incomplete)",
+    )
+    cache_manifest.add_argument("dir", help="cache directory")
+    cache_manifest.set_defaults(func=_cmd_cache_manifest)
 
     trace = sub.add_parser("trace", help="capture/inspect/replay traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -464,7 +647,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (SessionError, SpecError) as error:
+    except (SessionError, SpecError, ExecutorError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except OSError as error:

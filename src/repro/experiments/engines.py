@@ -87,6 +87,8 @@ def engine_contention_grid(
     workloads: Optional[Sequence[str]] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    executor=None,
+    on_result=None,
 ):
     """Execute the (framework x engine x bandwidth x workload) grid.
 
@@ -112,7 +114,9 @@ def engine_contention_grid(
             baseline_system().with_link_bandwidth(bandwidth),
             label=_bandwidth_label(bandwidth),
         )
-    return sweep.run(jobs=jobs, cache=cache)
+    return sweep.run(
+        jobs=jobs, cache=cache, executor=executor, on_result=on_result
+    )
 
 
 def _run_grid(
@@ -123,6 +127,8 @@ def _run_grid(
     jobs: int,
     cache: Optional[ResultCache],
     results,
+    executor=None,
+    on_result=None,
 ):
     """Resolve the grid a study view reads: reuse or execute."""
     chosen = tuple(workloads) if workloads is not None else tuple(
@@ -130,7 +136,8 @@ def _run_grid(
     )
     if results is None:
         results = engine_contention_grid(
-            experiment, frameworks, link_bandwidths, workloads, jobs, cache
+            experiment, frameworks, link_bandwidths, workloads, jobs, cache,
+            executor=executor, on_result=on_result,
         )
     return results, chosen
 
@@ -143,6 +150,8 @@ def engine_contention_study(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     results=None,
+    executor=None,
+    on_result=None,
 ) -> FigureResult:
     """Analytic over-credit factor per (framework, link bandwidth).
 
@@ -158,7 +167,7 @@ def engine_contention_study(
     """
     results, chosen = _run_grid(
         experiment, frameworks, link_bandwidths, workloads, jobs, cache,
-        results,
+        results, executor=executor, on_result=on_result,
     )
 
     def cycles(framework: str, label: str) -> Dict[str, float]:
@@ -195,6 +204,8 @@ def engine_contention_phases(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     results=None,
+    executor=None,
+    on_result=None,
 ) -> FigureResult:
     """Phase-resolved over-credit: where congestion actually bites.
 
@@ -219,7 +230,7 @@ def engine_contention_phases(
     """
     results, chosen = _run_grid(
         experiment, frameworks, link_bandwidths, workloads, jobs, cache,
-        results,
+        results, executor=executor, on_result=on_result,
     )
 
     def phase_cycles(framework: str, label: str, phase: str) -> Dict[str, float]:

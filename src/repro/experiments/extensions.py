@@ -12,7 +12,10 @@ the ablated and parameter-shifted design points are spelled as
 framework variants (:mod:`repro.frameworks.variants`), so every cell
 is an ordinary :class:`~repro.session.spec.RunSpec` that fans out over
 worker processes (``jobs``) and memoises through a
-:class:`~repro.session.ResultCache` (``cache``) like any paper figure.
+:class:`~repro.session.ResultCache` (``cache``) like any paper figure;
+``executor``/``on_result`` forward to :meth:`Sweep.run
+<repro.session.session.Sweep.run>` so the studies run on any
+:mod:`repro.session.executor` backend (including a shard slice).
 """
 
 from __future__ import annotations
@@ -40,6 +43,8 @@ def oovr_ablation(
     experiment: ExperimentConfig = FULL,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    executor=None,
+    on_result=None,
 ) -> FigureResult:
     """Speedup over baseline with each OO-VR mechanism disabled."""
     variants = list(ABLATION_VARIANTS)
@@ -47,7 +52,7 @@ def oovr_ablation(
         Sweep()
         .preset(experiment)
         .frameworks("baseline", *(f"oo-vr:{key}" for key in variants))
-        .run(jobs=jobs, cache=cache)
+        .run(jobs=jobs, cache=cache, executor=executor, on_result=on_result)
     )
     baseline = results.by_workload(framework="baseline")
     series: Dict[str, Mapping[str, float]] = {
@@ -71,6 +76,8 @@ def batching_sensitivity(
     workload: str = "HL2-1280",
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    executor=None,
+    on_result=None,
 ) -> FigureResult:
     """Middleware parameter sweep: TSL threshold and triangle cap.
 
@@ -91,7 +98,7 @@ def batching_sensitivity(
         .preset(experiment)
         .workloads(workload)
         .frameworks("baseline", *points.values())
-        .run(jobs=jobs, cache=cache)
+        .run(jobs=jobs, cache=cache, executor=executor, on_result=on_result)
     )
     base = results.get(framework="baseline")
     series = {
@@ -112,6 +119,8 @@ def energy_report(
     experiment: ExperimentConfig = FULL,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    executor=None,
+    on_result=None,
 ) -> FigureResult:
     """Per-frame link energy under the paper's integration assumptions.
 
@@ -125,7 +134,7 @@ def energy_report(
         Sweep()
         .preset(experiment)
         .frameworks(*schemes)
-        .run(jobs=jobs, cache=cache)
+        .run(jobs=jobs, cache=cache, executor=executor, on_result=on_result)
     )
     bytes_per_frame = results.geomean_by(
         "mean_inter_gpm_bytes_per_frame", by="framework"

@@ -201,6 +201,8 @@ def atw_study(
     panel_pixels: Optional[float] = None,
     jobs: int = 1,
     cache=None,
+    executor=None,
+    on_result=None,
 ) -> Dict[str, List[ATWReport]]:
     """Pace every scheme's workload suite through the compositor.
 
@@ -222,7 +224,7 @@ def atw_study(
         Sweep()
         .preset(experiment)
         .frameworks(*schemes)
-        .run(jobs=jobs, cache=cache)
+        .run(jobs=jobs, cache=cache, executor=executor, on_result=on_result)
     )
     out: Dict[str, List[ATWReport]] = {}
     for scheme in schemes:

@@ -139,6 +139,8 @@ def foveation_study(
     experiment=None,
     jobs: int = 1,
     cache=None,
+    executor=None,
+    on_result=None,
 ):
     """Foveation stacked on OO-VR: speedup over baseline per workload.
 
@@ -158,7 +160,7 @@ def foveation_study(
         .preset(experiment)
         .workloads(*workloads)
         .frameworks("baseline", "oo-vr", "oo-vr:fov")
-        .run(jobs=jobs, cache=cache)
+        .run(jobs=jobs, cache=cache, executor=executor, on_result=on_result)
     )
     table = {}
     for workload in workloads:

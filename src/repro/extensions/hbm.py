@@ -51,6 +51,8 @@ def local_bandwidth_sweep(
     num_frames: int = 2,
     jobs: int = 1,
     cache=None,
+    executor=None,
+    on_result=None,
 ) -> Dict[str, Dict[str, float]]:
     """Speedup over (baseline, 1 TB/s) per (generation, scheme) cell.
 
@@ -88,7 +90,9 @@ def local_bandwidth_sweep(
         sweep.config(
             with_local_bandwidth(baseline_system(), float(gbps)), label=label
         )
-    results = sweep.run(jobs=jobs, cache=cache)
+    results = sweep.run(
+        jobs=jobs, cache=cache, executor=executor, on_result=on_result
+    )
 
     def cycles(scheme: str, label: str) -> Dict[str, float]:
         return {
@@ -110,7 +114,10 @@ def local_bandwidth_sweep(
             .scale(draw_scale)
             .frameworks("baseline")
             .config(baseline_system(), label="reference (1 TB/s)")
-            .run(jobs=jobs, cache=cache)
+            .run(
+                jobs=jobs, cache=cache,
+                executor=executor, on_result=on_result,
+            )
         )
         reference = {
             workload: ref_results.get(

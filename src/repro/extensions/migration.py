@@ -184,6 +184,8 @@ def migration_study(
     experiment=None,
     jobs: int = 1,
     cache=None,
+    executor=None,
+    on_result=None,
 ) -> Dict[str, Tuple[float, float]]:
     """Reactive migration vs proactive pre-allocation, per scheme.
 
@@ -208,7 +210,7 @@ def migration_study(
         Sweep()
         .preset(experiment)
         .frameworks(*frameworks)
-        .run(jobs=jobs, cache=cache)
+        .run(jobs=jobs, cache=cache, executor=executor, on_result=on_result)
     )
     base = results.by_workload(framework="baseline")
     summary: Dict[str, Tuple[float, float]] = {}

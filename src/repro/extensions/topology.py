@@ -182,6 +182,8 @@ def topology_sweep(
     config: SystemConfig | None = None,
     jobs: int = 1,
     cache=None,
+    executor=None,
+    on_result=None,
 ) -> Dict[str, Dict[str, float]]:
     """Single-frame speedup over (baseline, fully-connected) per cell.
 
@@ -213,7 +215,9 @@ def topology_sweep(
     )
     if config is not None:
         sweep.config(config)
-    results = sweep.run(jobs=jobs, cache=cache)
+    results = sweep.run(
+        jobs=jobs, cache=cache, executor=executor, on_result=on_result
+    )
 
     def cycles(name: str) -> Dict[str, float]:
         return {

@@ -23,9 +23,41 @@ is a cell (or grid of cells) of the paper's evaluation space
 stable content hash of the spec (:func:`spec_key`); pass it (or a
 directory path) as ``Sweep.run(cache=...)`` to skip already-executed
 grid cells while staying byte-identical to an uncached run.
+
+*Where* a sweep executes is a pluggable backend
+(:mod:`repro.session.executor`): :class:`SerialExecutor`,
+:class:`ProcessExecutor` (``Sweep.run(jobs=N)`` is sugar for it) and
+:class:`ShardExecutor` — one deterministic, content-addressed slice of
+the grid, the scatter half of cross-machine sweeps whose caches
+:meth:`ResultCache.merge` gathers back together.
 """
 
-from repro.session.cache import CacheStats, ResultCache, spec_key
+from repro.session.cache import (
+    CacheMergeError,
+    CacheStats,
+    MergeStats,
+    ResultCache,
+    spec_key,
+)
+from repro.session.executor import (
+    EXECUTOR_NAMES,
+    ExecutorError,
+    ProcessExecutor,
+    ResultCallback,
+    SerialExecutor,
+    ShardExecutor,
+    ShardManifest,
+    SweepExecutor,
+    executor_names,
+    grid_key,
+    iter_shards,
+    load_shard_manifests,
+    make_executor,
+    parse_shard,
+    register_executor,
+    shard_manifest_paths,
+    shard_of,
+)
 from repro.session.result import ResultSet
 from repro.session.session import Session, SessionError, Sweep
 from repro.session.spec import (
@@ -40,19 +72,38 @@ from repro.session.spec import (
 )
 
 __all__ = [
+    "CacheMergeError",
     "CacheStats",
     "DEFAULT_FRAMES",
     "DEFAULT_SEED",
+    "EXECUTOR_NAMES",
+    "ExecutorError",
     "ExperimentConfig",
     "FAST",
     "FULL",
+    "MergeStats",
+    "ProcessExecutor",
     "RECORD_FIELDS",
     "ResultCache",
+    "ResultCallback",
     "ResultSet",
     "RunSpec",
+    "SerialExecutor",
     "Session",
     "SessionError",
+    "ShardExecutor",
+    "ShardManifest",
     "SpecError",
     "Sweep",
+    "SweepExecutor",
+    "executor_names",
+    "grid_key",
+    "iter_shards",
+    "load_shard_manifests",
+    "make_executor",
+    "parse_shard",
+    "register_executor",
+    "shard_manifest_paths",
+    "shard_of",
     "spec_key",
 ]

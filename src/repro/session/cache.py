@@ -18,6 +18,16 @@ sweep exports records, JSON and CSV byte-identical to an uncached one.
 Corruption is tolerated, not trusted: an unreadable entry, a schema
 mismatch, or a stored spec that disagrees with the requested one all
 count as misses, and the re-executed result overwrites the bad entry.
+
+Because keys are stable *content* addresses, caches compose across
+machines: shards of one grid scattered over hosts (``oovr sweep
+--shard I/N --cache DIR``, :mod:`repro.session.executor`) each fill a
+directory that :meth:`ResultCache.merge` folds back together —
+per-entry atomic copies with conflict detection, so two shards that
+somehow executed the same cell must agree byte-for-byte (or the merge
+raises :class:`CacheMergeError`).  ``oovr cache merge DST SRC...`` is
+the CLI spelling; replaying the grid against the merged directory is
+100 % hits and byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -39,6 +49,43 @@ from repro.stats.metrics import SceneResult
 CACHE_VERSION = 1
 
 _ENTRY_SUFFIX = ".json"
+
+_KEY_DIGITS = frozenset("0123456789abcdef")
+
+
+class CacheMergeError(ValueError):
+    """Two caches hold different results for the same spec key."""
+
+
+@dataclass
+class MergeStats:
+    """What one :meth:`ResultCache.merge` pass did."""
+
+    #: Entries copied because the destination lacked the key.
+    copied: int = 0
+    #: Keys present in both with byte-identical payloads (no-ops).
+    identical: int = 0
+    #: Conflicting keys resolved by ``on_conflict="keep"``.
+    kept: int = 0
+    #: Conflicting keys resolved by ``on_conflict="replace"``.
+    replaced: int = 0
+    #: Shard manifests copied alongside the entries.
+    manifests: int = 0
+
+    @property
+    def conflicts(self) -> int:
+        return self.kept + self.replaced
+
+    def summary(self) -> str:
+        text = f"{self.copied} copied, {self.identical} identical"
+        if self.conflicts:
+            text += (
+                f", {self.conflicts} conflict(s) "
+                f"({self.kept} kept, {self.replaced} replaced)"
+            )
+        if self.manifests:
+            text += f", {self.manifests} shard manifest(s)"
+        return text
 
 
 def config_fingerprint(spec: RunSpec) -> Optional[Dict[str, object]]:
@@ -130,11 +177,23 @@ class ResultCache:
         return self.root / f"{self.key(spec)}{_ENTRY_SUFFIX}"
 
     def _entries(self) -> Iterator[Path]:
+        # Entry files are exactly "<sha256-hex>.json"; the filter keeps
+        # shard manifests (and any stray JSON dropped in the directory)
+        # out of entry counts, clears and merges.
         return (
             path
             for path in sorted(self.root.glob(f"*{_ENTRY_SUFFIX}"))
             if path.is_file()
+            and len(path.stem) == 64
+            and set(path.stem) <= _KEY_DIGITS
         )
+
+    def keys(self) -> List[str]:
+        """Every stored spec key, sorted."""
+        return [path.stem for path in self._entries()]
+
+    def __contains__(self, key: str) -> bool:
+        return (self.root / f"{key}{_ENTRY_SUFFIX}").is_file()
 
     # -- lookup and store ---------------------------------------------------
 
@@ -175,7 +234,14 @@ class ResultCache:
         return result
 
     def put(self, spec: RunSpec, result: SceneResult) -> Path:
-        """Store ``result`` under ``spec``'s key (atomic replace)."""
+        """Store ``result`` under ``spec``'s key (atomic replace).
+
+        Crash-safe under concurrent writers: each store streams into
+        its own uniquely-named temp file (never a fixed ``.tmp`` name
+        two shard processes sharing the directory could collide on)
+        and lands with one :func:`os.replace`, so readers only ever
+        see complete entries and the last writer wins whole-file.
+        """
         entry = {
             "version": CACHE_VERSION,
             "key": self.key(spec),
@@ -186,24 +252,94 @@ class ResultCache:
         if spec.effective_engine != "analytic":
             # Auditability only — the engine is already part of the key.
             entry["engine"] = spec.effective_engine
+        text = json.dumps(entry, indent=1) + "\n"
         path = self.path_for(spec)
+        self._atomic_write(path, text)
+        self.stats.stores += 1
+        return path
+
+    def _atomic_write(self, path: Path, text: str) -> None:
+        """Write ``text`` to ``path`` via a unique temp file + replace."""
         handle = tempfile.NamedTemporaryFile(
             "w",
             encoding="utf-8",
             dir=self.root,
+            prefix=f".{path.stem[:16]}-",
             suffix=".tmp",
             delete=False,
         )
         try:
             with handle:
-                json.dump(entry, handle, indent=1)
-                handle.write("\n")
+                handle.write(text)
             os.replace(handle.name, path)
         except BaseException:
             os.unlink(handle.name)
             raise
-        self.stats.stores += 1
-        return path
+
+    def merge(
+        self,
+        other: Union["ResultCache", str, Path],
+        on_conflict: str = "error",
+    ) -> MergeStats:
+        """Fold ``other``'s entries into this cache; the gather half of
+        a sharded sweep.
+
+        Every entry copies atomically (unique temp file + replace, the
+        :meth:`put` discipline), so a reader of the destination never
+        sees a torn entry even mid-merge.  A key present in both caches
+        with byte-identical payloads is a no-op; *different* payloads
+        are a conflict — two shards disagreeing about the same content
+        address means a model or schema skew between hosts:
+
+        - ``on_conflict="error"`` (default) raises
+          :class:`CacheMergeError` naming the key;
+        - ``"keep"`` keeps the destination's entry;
+        - ``"replace"`` takes the source's.
+
+        Shard manifests (``repro.session.executor.ShardManifest``
+        files) ride along so the merged directory still knows which
+        shard owned which keys — ``oovr cache manifest DIR`` audits
+        coverage from them.
+        """
+        if on_conflict not in ("error", "keep", "replace"):
+            raise ValueError(
+                f"on_conflict must be 'error', 'keep' or 'replace', "
+                f"got {on_conflict!r}"
+            )
+        if not isinstance(other, ResultCache):
+            other = ResultCache(other)
+        stats = MergeStats()
+        for source in other._entries():
+            destination = self.root / source.name
+            payload = source.read_text(encoding="utf-8")
+            if not destination.is_file():
+                self._atomic_write(destination, payload)
+                stats.copied += 1
+                continue
+            if destination.read_text(encoding="utf-8") == payload:
+                stats.identical += 1
+                continue
+            if on_conflict == "error":
+                raise CacheMergeError(
+                    f"cache merge conflict on {source.stem[:12]}…: "
+                    f"{other.root} and {self.root} hold different results "
+                    "for the same spec key (model or schema skew between "
+                    "writers); pass on_conflict='keep' or 'replace' to "
+                    "resolve"
+                )
+            if on_conflict == "replace":
+                self._atomic_write(destination, payload)
+                stats.replaced += 1
+            else:
+                stats.kept += 1
+        for manifest in sorted(other.root.glob("*.manifest.json")):
+            if manifest.is_file():
+                self._atomic_write(
+                    self.root / manifest.name,
+                    manifest.read_text(encoding="utf-8"),
+                )
+                stats.manifests += 1
+        return stats
 
     # -- maintenance --------------------------------------------------------
 

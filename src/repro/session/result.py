@@ -46,6 +46,34 @@ class ResultSet:
     def results(self) -> List[SceneResult]:
         return [result for _, result in self._runs]
 
+    # -- composition --------------------------------------------------------
+
+    def merge(self, other: "ResultSet") -> "ResultSet":
+        """This set and ``other`` as one set; duplicate cells rejected.
+
+        The in-process gather half of a sharded sweep: each shard's
+        owned slice concatenates in argument order.  Two runs of the
+        *same* cell (equal :func:`spec_key
+        <repro.session.cache.spec_key>` content addresses — e.g. two
+        shards misconfigured with the same index) raise instead of
+        silently double-counting a cell in geomeans and pivots.
+        """
+        from repro.session.cache import spec_key
+
+        seen = {spec_key(spec) for spec, _ in self._runs}
+        for spec, _ in other:
+            key = spec_key(spec)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate cell in ResultSet.merge: framework="
+                    f"{spec.framework!r} workload={spec.workload!r} "
+                    f"config_label={spec.config_label!r} (spec_key "
+                    f"{key[:12]}…) is already present; shards of one "
+                    "grid must be disjoint"
+                )
+            seen.add(key)
+        return ResultSet([*self._runs, *other._runs])
+
     # -- selection ----------------------------------------------------------
 
     def select(self, **where: object) -> "ResultSet":

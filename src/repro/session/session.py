@@ -5,8 +5,10 @@
     result = Session().framework("oo-vr").workload("HL2-1280").fast().run()
 
 ``Sweep`` expands cartesian (config x framework x workload) grids into
-:class:`~repro.session.spec.RunSpec` lists and executes them — serially
-or across worker processes — into a
+:class:`~repro.session.spec.RunSpec` lists and hands them to a
+pluggable :class:`~repro.session.executor.SweepExecutor` backend —
+``serial``, ``process`` (``jobs=4`` is sugar for it) or ``shard``
+(one deterministic slice of a cross-machine scatter) — collecting a
 :class:`~repro.session.result.ResultSet`::
 
     records = (
@@ -19,18 +21,23 @@ or across worker processes — into a
     )
 
 Execution is deterministic: specs run (or are gathered) in grid order,
-so a parallel sweep produces records identical to a serial one.
+so a parallel sweep produces records identical to a serial one, and a
+sharded-then-merged sweep replays byte-identically to either.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.config import SystemConfig
 from repro.scene.scene import Scene
 from repro.session.cache import ResultCache
+from repro.session.executor import (
+    ResultCallback,
+    SweepExecutor,
+    make_executor,
+)
 from repro.session.result import ResultSet
 from repro.session.spec import (
     DEFAULT_FRAMES,
@@ -46,11 +53,6 @@ from repro.stats.metrics import SceneResult
 
 class SessionError(ValueError):
     """Raised when a builder is incomplete or inconsistent."""
-
-
-def _execute_spec(spec: RunSpec) -> SceneResult:
-    """Top-level worker so ``ProcessPoolExecutor`` can pickle it."""
-    return spec.execute()
 
 
 class _ScaleMixin:
@@ -271,13 +273,21 @@ class Sweep(_ScaleMixin):
         self,
         jobs: int = 1,
         cache: Optional[Union[ResultCache, str, Path]] = None,
+        executor: Optional[Union[str, SweepExecutor]] = None,
+        on_result: Optional[ResultCallback] = None,
+        shard: Optional[Union[str, Tuple[int, int]]] = None,
     ) -> ResultSet:
         """Execute the grid into a :class:`ResultSet`.
 
-        ``jobs > 1`` fans specs out over a ``ProcessPoolExecutor``;
-        results are gathered in grid order, so the records (and any CSV
-        or JSON export) are identical to a serial run.  Scene
-        construction is memoised per process.
+        Execution is delegated to a pluggable
+        :class:`~repro.session.executor.SweepExecutor`.  ``executor``
+        names a registered backend (``"serial"``, ``"process"``,
+        ``"shard"``) or passes an instance; left ``None`` it is
+        inferred — ``shard`` given selects ``shard``, ``jobs > 1``
+        selects ``process`` (so ``run(jobs=4)`` keeps its historical
+        meaning), else ``serial``.  Whatever the backend, results are
+        gathered in grid order, so records (and any CSV or JSON
+        export) are identical across backends.
 
         ``cache`` (a :class:`~repro.session.cache.ResultCache` or a
         directory path) memoises results by :func:`spec_key
@@ -285,31 +295,37 @@ class Sweep(_ScaleMixin):
         loaded instead of re-rendered, misses are executed and stored.
         The serialisation round trip is exact, so a cached run stays
         byte-identical to an uncached one.
+
+        ``shard`` (``"I/N"`` or an ``(index, count)`` pair) runs only
+        the deterministic slice of the grid owned by shard ``I`` of
+        ``N`` — the scatter half of a cross-machine sweep (see
+        :mod:`repro.session.executor`).  The returned set then holds
+        just the owned cells; merge the shards' caches
+        (:meth:`ResultCache.merge
+        <repro.session.cache.ResultCache.merge>`) or record sets
+        (:meth:`ResultSet.merge <repro.session.result.ResultSet.merge>`)
+        to reassemble the grid.
+
+        ``on_result(spec, result, cached)`` fires once per completed
+        cell, in grid order (``oovr sweep --progress`` prints one line
+        per call).
         """
         if jobs < 1:
             raise SessionError("jobs must be at least 1")
         specs = self.specs()
-        if cache is None:
-            return ResultSet(
-                list(zip(specs, self._execute(specs, jobs)))
-            )
-        if not isinstance(cache, ResultCache):
+        if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
-        results: List[Optional[SceneResult]] = [
-            cache.get(spec) for spec in specs
-        ]
-        missing = [i for i, result in enumerate(results) if result is None]
-        executed = self._execute([specs[i] for i in missing], jobs)
-        for index, result in zip(missing, executed):
-            cache.put(specs[index], result)
-            results[index] = result
-        return ResultSet(list(zip(specs, results)))
-
-    @staticmethod
-    def _execute(specs: Sequence[RunSpec], jobs: int) -> List[SceneResult]:
-        """Run ``specs`` in order, serially or across worker processes."""
-        if jobs == 1 or len(specs) <= 1:
-            return [_execute_spec(spec) for spec in specs]
-        workers = min(jobs, len(specs))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_execute_spec, specs))
+        backend = make_executor(executor, jobs=jobs, shard=shard)
+        results = backend.run(specs, cache=cache, on_result=on_result)
+        if len(results) != len(specs):
+            raise SessionError(
+                f"executor {getattr(backend, 'name', backend)!r} returned "
+                f"{len(results)} results for {len(specs)} specs"
+            )
+        return ResultSet(
+            [
+                (spec, result)
+                for spec, result in zip(specs, results)
+                if result is not None
+            ]
+        )

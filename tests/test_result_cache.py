@@ -9,6 +9,7 @@ import pytest
 
 from repro.config import baseline_system
 from repro.session import (
+    CacheMergeError,
     ExperimentConfig,
     ResultCache,
     RunSpec,
@@ -226,3 +227,139 @@ class TestSweepCaching:
         second = sweep().run(cache=cache)
         assert (cache.stats.hits, cache.stats.misses) == (2, 2)
         assert first.to_csv() == second.to_csv() == sweep().run().to_csv()
+
+
+class TestConcurrentWriters:
+    """Two shard processes sharing one directory must not corrupt it."""
+
+    def test_interleaved_writers_same_key(self, tmp_path):
+        """Many interleaved puts of the same key always leave a
+        complete, parseable entry and no stray temp files — each
+        writer stages into its own uniquely-named temp file before
+        the atomic replace, so writers cannot truncate each other."""
+        import threading
+
+        spec = tiny_spec().validate()
+        result = spec.execute()
+        writers = [ResultCache(tmp_path), ResultCache(tmp_path)]
+        start = threading.Barrier(len(writers))
+        errors = []
+
+        def hammer(cache):
+            try:
+                start.wait()
+                for _ in range(25):
+                    cache.put(spec, result)
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(cache,))
+            for cache in writers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        survivor = ResultCache(tmp_path)
+        assert len(survivor) == 1
+        cached = survivor.get(spec)
+        assert cached is not None
+        assert cached.to_dict() == result.to_dict()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_two_caches_sharing_a_directory(self, tmp_path):
+        """The shard scenario: distinct cells landing from two cache
+        instances interleave without losing either entry."""
+        spec_a = tiny_spec().validate()
+        spec_b = tiny_spec(workload="DM3-640").validate()
+        cache_a, cache_b = ResultCache(tmp_path), ResultCache(tmp_path)
+        cache_a.put(spec_a, spec_a.execute())
+        cache_b.put(spec_b, spec_b.execute())
+        shared = ResultCache(tmp_path)
+        assert shared.get(spec_a) is not None
+        assert shared.get(spec_b) is not None
+        assert len(shared) == 2
+
+
+class TestCacheMerge:
+    def seeded(self, tmp_path, name, workloads=("WE",)):
+        cache = ResultCache(tmp_path / name)
+        for workload in workloads:
+            spec = tiny_spec(workload=workload).validate()
+            cache.put(spec, spec.execute())
+        return cache
+
+    def test_merge_copies_missing_entries(self, tmp_path):
+        source = self.seeded(tmp_path, "src", TINY.workloads)
+        destination = ResultCache(tmp_path / "dst")
+        stats = destination.merge(source)
+        assert (stats.copied, stats.identical, stats.conflicts) == (2, 0, 0)
+        assert sorted(destination.keys()) == sorted(source.keys())
+        spec = tiny_spec(workload="WE").validate()
+        assert destination.get(spec) is not None
+
+    def test_merge_accepts_directory_path(self, tmp_path):
+        source = self.seeded(tmp_path, "src")
+        destination = ResultCache(tmp_path / "dst")
+        stats = destination.merge(source.root)
+        assert stats.copied == 1
+
+    def test_same_key_same_payload_is_noop(self, tmp_path):
+        source = self.seeded(tmp_path, "src")
+        destination = ResultCache(tmp_path / "dst")
+        destination.merge(source)
+        again = destination.merge(source)
+        assert (again.copied, again.identical) == (0, 1)
+        assert "1 identical" in again.summary()
+
+    def test_same_key_different_payload_raises(self, tmp_path):
+        source = self.seeded(tmp_path, "src")
+        destination = self.seeded(tmp_path, "dst")
+        key = source.keys()[0]
+        path = source.root / f"{key}.json"
+        entry = json.loads(path.read_text())
+        entry["result"]["single_frame_cycles"] += 1.0
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        with pytest.raises(CacheMergeError, match="merge conflict"):
+            destination.merge(source)
+
+    def test_conflict_keep_and_replace_policies(self, tmp_path):
+        source = self.seeded(tmp_path, "src")
+        destination = self.seeded(tmp_path, "dst")
+        key = source.keys()[0]
+        path = source.root / f"{key}.json"
+        original = (destination.root / f"{key}.json").read_text()
+        doctored = original.replace("\n", "\n ", 1)
+        path.write_text(doctored, encoding="utf-8")
+        kept = destination.merge(source, on_conflict="keep")
+        assert (kept.kept, kept.replaced) == (1, 0)
+        assert (destination.root / f"{key}.json").read_text() == original
+        replaced = destination.merge(source, on_conflict="replace")
+        assert (replaced.kept, replaced.replaced) == (0, 1)
+        assert (destination.root / f"{key}.json").read_text() == doctored
+
+    def test_bad_on_conflict_rejected(self, tmp_path):
+        destination = ResultCache(tmp_path / "dst")
+        with pytest.raises(ValueError, match="on_conflict"):
+            destination.merge(tmp_path / "dst", on_conflict="panic")
+
+    def test_merge_ignores_non_entry_json(self, tmp_path):
+        source = self.seeded(tmp_path, "src")
+        (source.root / "notes.json").write_text("{}", encoding="utf-8")
+        destination = ResultCache(tmp_path / "dst")
+        stats = destination.merge(source)
+        assert stats.copied == 1
+        assert not (destination.root / "notes.json").exists()
+
+    def test_entry_count_ignores_manifests_and_stray_json(self, tmp_path):
+        cache = self.seeded(tmp_path, "src")
+        (cache.root / "shard-0of2.manifest.json").write_text(
+            "{}", encoding="utf-8"
+        )
+        (cache.root / "notes.json").write_text("{}", encoding="utf-8")
+        assert len(cache) == 1
+        assert cache.info()["entries"] == 1
+        assert cache.clear() == 1
+        assert (cache.root / "shard-0of2.manifest.json").exists()
