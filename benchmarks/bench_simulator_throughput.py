@@ -2,14 +2,21 @@
 
 Tracks the cost of the hot paths — draw characterisation, NUMA-resolved
 unit execution, and a full OO-VR frame — so performance regressions in
-the simulator are visible in CI.
+the simulator are visible in CI, plus the dispatch overhead of each
+sweep-executor backend (``BENCH_service_throughput.json``).
 """
 
-from benchmarks.conftest import BENCH
+import json
+import threading
+import time
+
+from benchmarks.conftest import BENCH, OUTPUT_DIR
 from repro.frameworks.base import build_framework
 from repro.experiments.runner import scene_for
 from repro.gpu.system import MultiGPUSystem
 from repro.pipeline.smp import SMPMode
+from repro.service import RemoteExecutor, SweepWorker, serve
+from repro.session import FAST, ResultCache, Sweep
 
 
 def test_characterize_draw(benchmark):
@@ -42,3 +49,87 @@ def test_oovr_full_frame(benchmark):
         return fw.render_frame(scene.frames[0], "HL2-1280")
 
     benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_service_throughput(tmp_path):
+    """Cells/sec of one fast grid through each executor backend.
+
+    Serial is the floor, the process pool adds spawn cost, and the
+    remote loopback (daemon + two worker threads on this host) adds
+    the full submit/lease/upload/poll round trip — the number that
+    says what the sweep service costs *beyond* the simulator.  Every
+    backend must still export byte-identical records.  Emits
+    ``benchmarks/output/BENCH_service_throughput.json``.
+    """
+
+    def grid() -> Sweep:
+        return (
+            Sweep()
+            .preset(FAST)
+            .frameworks("baseline", "oo-vr")
+            .workloads("DM3-640", "HL2-640", "WE")
+        )
+
+    cells = len(grid().specs())
+
+    def timed(executor, **kwargs):
+        start = time.perf_counter()
+        results = grid().run(executor=executor, **kwargs)
+        return results.to_csv(), time.perf_counter() - start
+
+    backends = {}
+    reference, seconds = timed("serial")
+    backends["serial"] = {"seconds": seconds}
+
+    csv, seconds = timed("process", jobs=2)
+    assert csv == reference
+    backends["process"] = {"seconds": seconds, "jobs": 2}
+
+    server = serve(cache=ResultCache(tmp_path / "server-cache"))
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    stop = threading.Event()
+    workers = [
+        SweepWorker(server.url, name=f"w{index}", poll_interval=0.02)
+        for index in range(2)
+    ]
+    threads = [
+        threading.Thread(
+            target=worker.run_forever,
+            kwargs={"should_stop": stop.is_set},
+            daemon=True,
+        )
+        for worker in workers
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        csv, seconds = timed(
+            RemoteExecutor(server.url, poll_interval=0.02)
+        )
+        assert csv == reference
+        backends["remote-loopback"] = {"seconds": seconds, "workers": 2}
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        server.shutdown()
+        server.server_close()
+
+    for row in backends.values():
+        row["cells_per_sec"] = round(cells / row["seconds"], 3)
+        row["seconds"] = round(row["seconds"], 3)
+    document = {
+        "bench": "service_throughput",
+        "grid_cells": cells,
+        "preset": {
+            "draw_scale": FAST.draw_scale,
+            "num_frames": FAST.num_frames,
+        },
+        "byte_identical": True,
+        "backends": backends,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / "BENCH_service_throughput.json"
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    print()
+    print(json.dumps(document, indent=2))

@@ -19,7 +19,12 @@ Every experiment command is a thin wrapper over the Session/Sweep API
     oovr cache merge merged shard0 shard1  # gather scattered shards
     oovr cache manifest merged   # audit shard coverage of a cache
     oovr cache info .oovr-cache  # entry count and footprint
+    oovr cache info .oovr-cache --json  # ... machine-readable, with
+                                        # per-grid manifest coverage
     oovr cache clear .oovr-cache # drop every cached result
+    oovr serve --cache farm --port 8765   # sweep-service daemon
+    oovr worker http://farmhost:8765 --jobs 4  # lease-executing agent
+    oovr sweep --fast --server http://farmhost:8765  # remote executor
     oovr list                   # list frameworks and workloads
     oovr trace record WE we.json.gz   # capture a workload as a trace
     oovr trace info we.json.gz        # profile a captured trace
@@ -50,6 +55,7 @@ from repro.session import (
     Sweep,
     spec_key,
 )
+from repro.service.client import ServiceError
 from repro.trace import load_scene, profile_scene, save_scene
 
 
@@ -187,10 +193,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "persists nothing; pass --cache DIR to scatter across hosts",
             file=sys.stderr,
         )
+    executor = args.executor
+    if args.server:
+        if executor not in (None, "remote"):
+            raise ExecutorError(
+                f"--server selects the remote executor; it cannot be "
+                f"combined with --executor {executor}"
+            )
+        from repro.service import RemoteExecutor, ServiceError
+
+        try:
+            executor = RemoteExecutor(args.server)
+        except ServiceError as error:
+            # A URL that cannot even be parsed is a usage error (exit
+            # 2), not a runtime service failure (exit 1).
+            raise ExecutorError(str(error)) from None
     results = sweep.run(
         jobs=args.jobs,
         cache=cache,
-        executor=args.executor,
+        executor=executor,
         shard=args.shard,
         on_result=_on_result(args),
     )
@@ -241,10 +262,23 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 2
     cache = ResultCache(args.dir)
     if args.cache_command == "info":
-        info = cache.info()
+        if getattr(args, "json", False):
+            # The same document the sweep service's GET /cache serves
+            # (one code path: ResultCache.status), so scripts and the
+            # daemon read identical numbers.
+            print(json.dumps(cache.status(), indent=2))
+            return 0
+        info = cache.status()
         print(f"cache at {info['root']}:")
         print(f"  entries     : {info['entries']}")
         print(f"  total bytes : {info['total_bytes']}")
+        for grid in info["grids"]:
+            print(
+                f"  grid {grid['grid'][:12]}: {grid['present']}/"
+                f"{grid['cells']} cells present across {grid['shards']} "
+                f"shard manifest(s)"
+                + ("" if grid["complete"] else " [incomplete]")
+            )
         return 0
     removed = cache.clear()
     print(f"cleared {removed} cached result(s) from {args.dir}")
@@ -346,6 +380,60 @@ def _cmd_cache_manifest(args: argparse.Namespace) -> int:
     if covered < len(grid):
         complete = False
     return 0 if complete else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    try:
+        server = serve(
+            cache=args.cache,
+            host=args.host,
+            port=args.port,
+            lease_timeout=args.lease_timeout,
+            verbose=args.verbose,
+        )
+    except ValueError as error:
+        raise SessionError(str(error)) from None
+    print(
+        f"oovr serve: cache {args.cache}, listening on {server.url} "
+        f"(lease timeout {args.lease_timeout:g}s)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service import SweepWorker
+
+    try:
+        worker = SweepWorker(
+            args.server,
+            jobs=args.jobs,
+            name=args.name,
+            poll_interval=args.poll_interval,
+            lease_limit=args.lease_limit,
+            max_idle=args.max_idle,
+        )
+    except ValueError as error:
+        raise SessionError(str(error)) from None
+    print(
+        f"oovr worker: {worker.name} pulling from {args.server} "
+        f"({args.jobs} job(s))",
+        flush=True,
+    )
+    stats = worker.run_forever()
+    print(
+        f"worker {stats['name']} exiting: {stats['cells_done']} cell(s) "
+        f"over {stats['leases_served']} lease(s)"
+    )
+    return 0
 
 
 def _cmd_trace_record(args: argparse.Namespace) -> int:
@@ -552,7 +640,14 @@ def make_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--executor", metavar="NAME", default=None,
         help=f"execution backend ({'/'.join(EXECUTOR_NAMES)}; default: "
-        "serial, or process when --jobs > 1)",
+        "serial, or process when --jobs > 1; remote reads $OOVR_SERVER "
+        "unless --server is given)",
+    )
+    sweep.add_argument(
+        "--server", metavar="URL", default=None,
+        help="submit the grid to an `oovr serve` daemon (selects the "
+        "remote executor) and block for results; records stay "
+        "byte-identical to a serial run",
     )
     sweep.add_argument(
         "--shard", metavar="I/N", default=None,
@@ -574,6 +669,12 @@ def make_parser() -> argparse.ArgumentParser:
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     cache_info = cache_sub.add_parser("info", help="entry count and bytes")
     cache_info.add_argument("dir", help="cache directory")
+    cache_info.add_argument(
+        "--json", action="store_true",
+        help="machine-readable status (entries, bytes, per-grid shard-"
+        "manifest coverage) — the same document the sweep service's "
+        "GET /cache endpoint serves",
+    )
     cache_info.set_defaults(func=_cmd_cache)
     cache_clear = cache_sub.add_parser("clear", help="drop every entry")
     cache_clear.add_argument("dir", help="cache directory")
@@ -621,6 +722,62 @@ def make_parser() -> argparse.ArgumentParser:
     replay.add_argument("framework")
     replay.set_defaults(func=_cmd_trace_replay)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep-service daemon: accepts RunSpec grids over "
+        "HTTP/JSON, dispatches cells to registered workers, answers "
+        "repeats straight from its result cache",
+    )
+    serve.add_argument(
+        "--cache", metavar="DIR", required=True,
+        help="content-addressed result cache directory the daemon owns "
+        "(the shared result store; repeated grids are pure cache reads)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: OS-assigned, printed at startup)",
+    )
+    serve.add_argument(
+        "--lease-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="seconds a worker may hold leased cells before they are "
+        "re-dispatched (a dead worker degrades to a re-run, not a "
+        "wedged job)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a worker agent: registers with an `oovr serve` "
+        "daemon, leases pending sweep cells, executes them with the "
+        "standard in-process executors and uploads the results",
+    )
+    worker.add_argument("server", help="daemon URL (http://host:port)")
+    worker.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for leased cells (process executor "
+        "when > 1)",
+    )
+    worker.add_argument(
+        "--name", default=None, help="worker name (default: host-pid)"
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="SECONDS",
+        help="sleep between empty lease polls",
+    )
+    worker.add_argument(
+        "--lease-limit", type=int, default=None, metavar="N",
+        help="cells per lease (default: --jobs)",
+    )
+    worker.add_argument(
+        "--max-idle", type=float, default=None, metavar="SECONDS",
+        help="exit after this long without work (default: wait forever)",
+    )
+    worker.set_defaults(func=_cmd_worker)
+
     energy = sub.add_parser("energy", help="Section 6.2 energy accounting")
     energy.add_argument("workload")
     energy.add_argument("--fast", action="store_true")
@@ -650,6 +807,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (SessionError, SpecError, ExecutorError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except CacheMergeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

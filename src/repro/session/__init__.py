@@ -37,6 +37,8 @@ from repro.session.cache import (
     CacheStats,
     MergeStats,
     ResultCache,
+    encode_entry,
+    is_entry_key,
     spec_key,
 )
 from repro.session.executor import (
@@ -96,8 +98,10 @@ __all__ = [
     "SpecError",
     "Sweep",
     "SweepExecutor",
+    "encode_entry",
     "executor_names",
     "grid_key",
+    "is_entry_key",
     "iter_shards",
     "load_shard_manifests",
     "make_executor",

@@ -107,6 +107,11 @@ def config_fingerprint(spec: RunSpec) -> Optional[Dict[str, object]]:
     return data
 
 
+def is_entry_key(key: str) -> bool:
+    """Whether ``key`` is a well-formed entry address (sha256 hex)."""
+    return len(key) == 64 and set(key) <= _KEY_DIGITS
+
+
 def spec_key(spec: RunSpec) -> str:
     """Stable content hash of one evaluation cell.
 
@@ -133,6 +138,30 @@ def spec_key(spec: RunSpec) -> str:
         payload["engine"] = spec.effective_engine
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def encode_entry(spec: RunSpec, result: SceneResult) -> str:
+    """The exact on-disk text of one cache entry.
+
+    The single encoding shared by :meth:`ResultCache.put` and the sweep
+    service's worker uploads (:mod:`repro.service`): because the text
+    is a pure function of ``(spec, result)`` and the simulator is
+    deterministic, two hosts that executed the same cell produce
+    byte-identical entries — which is what lets
+    :meth:`ResultCache.merge` / :meth:`ResultCache.merge_entry` treat
+    any byte-level disagreement as a genuine model/schema skew.
+    """
+    entry = {
+        "version": CACHE_VERSION,
+        "key": spec_key(spec),
+        "spec": spec.record_fields(),
+        "config": config_fingerprint(spec),
+        "result": result.to_dict(include_frames=True),
+    }
+    if spec.effective_engine != "analytic":
+        # Auditability only — the engine is already part of the key.
+        entry["engine"] = spec.effective_engine
+    return json.dumps(entry, indent=1) + "\n"
 
 
 @dataclass
@@ -242,17 +271,7 @@ class ResultCache:
         and lands with one :func:`os.replace`, so readers only ever
         see complete entries and the last writer wins whole-file.
         """
-        entry = {
-            "version": CACHE_VERSION,
-            "key": self.key(spec),
-            "spec": spec.record_fields(),
-            "config": config_fingerprint(spec),
-            "result": result.to_dict(include_frames=True),
-        }
-        if spec.effective_engine != "analytic":
-            # Auditability only — the engine is already part of the key.
-            entry["engine"] = spec.effective_engine
-        text = json.dumps(entry, indent=1) + "\n"
+        text = encode_entry(spec, result)
         path = self.path_for(spec)
         self._atomic_write(path, text)
         self.stats.stores += 1
@@ -275,6 +294,47 @@ class ResultCache:
         except BaseException:
             os.unlink(handle.name)
             raise
+
+    def merge_entry(
+        self, key: str, payload: str, on_conflict: str = "error"
+    ) -> str:
+        """Fold one entry payload in by key; the unit of :meth:`merge`.
+
+        The same semantics a directory merge applies per entry, exposed
+        for callers that receive payload *text* rather than a sibling
+        cache directory — the sweep service's upload path above all.
+        Returns what happened: ``"copied"`` (destination lacked the
+        key), ``"identical"`` (byte-identical payload, a no-op),
+        ``"kept"`` or ``"replaced"`` (conflict resolved per
+        ``on_conflict``).  ``on_conflict="error"`` raises
+        :class:`CacheMergeError` on byte-level disagreement — two
+        writers producing different bytes for one content address means
+        model or schema skew between them.
+        """
+        if on_conflict not in ("error", "keep", "replace"):
+            raise ValueError(
+                f"on_conflict must be 'error', 'keep' or 'replace', "
+                f"got {on_conflict!r}"
+            )
+        if not is_entry_key(key):
+            raise ValueError(f"not a cache entry key: {key!r}")
+        destination = self.root / f"{key}{_ENTRY_SUFFIX}"
+        if not destination.is_file():
+            self._atomic_write(destination, payload)
+            return "copied"
+        if destination.read_text(encoding="utf-8") == payload:
+            return "identical"
+        if on_conflict == "error":
+            raise CacheMergeError(
+                f"cache merge conflict on {key[:12]}…: two writers hold "
+                "different results for the same spec key (model or "
+                "schema skew); pass on_conflict='keep' or 'replace' to "
+                "resolve"
+            )
+        if on_conflict == "replace":
+            self._atomic_write(destination, payload)
+            return "replaced"
+        return "kept"
 
     def merge(
         self,
@@ -310,28 +370,21 @@ class ResultCache:
             other = ResultCache(other)
         stats = MergeStats()
         for source in other._entries():
-            destination = self.root / source.name
             payload = source.read_text(encoding="utf-8")
-            if not destination.is_file():
-                self._atomic_write(destination, payload)
-                stats.copied += 1
-                continue
-            if destination.read_text(encoding="utf-8") == payload:
-                stats.identical += 1
-                continue
-            if on_conflict == "error":
+            try:
+                outcome = self.merge_entry(
+                    source.stem, payload, on_conflict=on_conflict
+                )
+            except CacheMergeError:
                 raise CacheMergeError(
                     f"cache merge conflict on {source.stem[:12]}…: "
                     f"{other.root} and {self.root} hold different results "
                     "for the same spec key (model or schema skew between "
                     "writers); pass on_conflict='keep' or 'replace' to "
                     "resolve"
-                )
-            if on_conflict == "replace":
-                self._atomic_write(destination, payload)
-                stats.replaced += 1
-            else:
-                stats.kept += 1
+                ) from None
+            # Outcome names match the MergeStats counter fields.
+            setattr(stats, outcome, getattr(stats, outcome) + 1)
         for manifest in sorted(other.root.glob("*.manifest.json")):
             if manifest.is_file():
                 self._atomic_write(
@@ -356,6 +409,60 @@ class ResultCache:
             "entries": len(entries),
             "total_bytes": sum(size for _, size in entries),
         }
+
+    def status(self) -> Dict[str, object]:
+        """Machine-readable cache status: :meth:`info` plus per-grid
+        shard-manifest coverage.
+
+        The one code path behind both ``oovr cache info --json`` and
+        the sweep service's ``GET /cache`` endpoint, so humans and
+        clients read the same numbers.  Each ``grids`` row aggregates
+        every readable shard manifest of one scattered grid:
+        ``cells`` (the whole grid), ``owned`` (cells some shard
+        claimed), ``present`` (grid cells with entries on disk) and
+        ``complete`` (every cell present).  Unreadable manifests are
+        counted, not fatal.
+        """
+        from repro.session.executor import ShardManifest, shard_manifest_paths
+
+        info = self.info()
+        present = frozenset(path.stem for path in self._entries())
+        grids: Dict[str, Dict[str, object]] = {}
+        unreadable = 0
+        for path in shard_manifest_paths(self.root):
+            try:
+                manifest = ShardManifest.load(path)
+            except (OSError, ValueError, KeyError, TypeError):
+                unreadable += 1
+                continue
+            row = grids.setdefault(
+                manifest.grid_key,
+                {
+                    "grid": manifest.grid_key,
+                    "shard_count": manifest.shard_count,
+                    "shards": 0,
+                    "cells": 0,
+                    "owned": set(),
+                    "all": set(),
+                },
+            )
+            row["shards"] += 1  # type: ignore[operator]
+            row["owned"].update(manifest.owned_keys)  # type: ignore[union-attr]
+            row["all"].update(manifest.owned_keys)  # type: ignore[union-attr]
+            row["all"].update(manifest.skipped_keys)  # type: ignore[union-attr]
+        rows: List[Dict[str, object]] = []
+        for grid in sorted(grids):
+            row = grids[grid]
+            cells = row.pop("all")
+            owned = row.pop("owned")
+            row["cells"] = len(cells)
+            row["owned"] = len(owned)  # type: ignore[assignment]
+            row["present"] = len(cells & present)  # type: ignore[operator]
+            row["complete"] = row["present"] == row["cells"]
+            rows.append(row)
+        info["grids"] = rows
+        info["unreadable_manifests"] = unreadable
+        return info
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

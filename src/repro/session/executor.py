@@ -2,7 +2,7 @@
 
 ``Sweep.run`` expands a grid into :class:`~repro.session.spec.RunSpec`
 cells; a :class:`SweepExecutor` decides where those cells execute.
-Three backends ship, selectable by name end-to-end (``Sweep.run
+Four backends ship, selectable by name end-to-end (``Sweep.run
 (executor=...)``, ``oovr sweep --executor``):
 
 - ``serial`` — in-process, one cell at a time, in grid order;
@@ -14,7 +14,12 @@ Three backends ship, selectable by name end-to-end (``Sweep.run
   slice of the grid (:func:`shard_of` partitions by :func:`spec_key
   <repro.session.cache.spec_key>`, so membership depends on cell
   *content*, never on grid order) and records a :class:`ShardManifest`
-  of owned vs. skipped keys next to the per-shard cache entries.
+  of owned vs. skipped keys next to the per-shard cache entries;
+- ``remote`` — submits the grid to an ``oovr serve`` daemon
+  (:mod:`repro.service`) and blocks for results; the daemon's worker
+  fleet executes the misses and its cache answers repeats.  By name it
+  reads the daemon URL from ``$OOVR_SERVER``; ``oovr sweep --server
+  URL`` builds the instance directly.
 
 The shard backend is the scatter half of cross-machine sweeps: a
 coordinator runs the same grid on N hosts with ``--shard i/N --cache
@@ -506,9 +511,22 @@ def _build_shard(
     return ShardExecutor(*shard, inner=inner)
 
 
+def _build_remote(
+    jobs: int, shard: Optional[Tuple[int, int]]
+) -> SweepExecutor:
+    # The service layer imports this module, so resolve it lazily; the
+    # daemon URL comes from $OOVR_SERVER (the CLI's --server constructs
+    # a RemoteExecutor instance directly instead).
+    _reject_shard("remote", shard)
+    from repro.service.client import RemoteExecutor
+
+    return RemoteExecutor.from_env()
+
+
 register_executor("serial", _build_serial)
 register_executor("process", _build_process)
 register_executor("shard", _build_shard)
+register_executor("remote", _build_remote)
 
 #: The built-in backends (for help strings and error messages).
 EXECUTOR_NAMES = tuple(executor_names())

@@ -90,7 +90,7 @@ class TestShardPartition:
 
 class TestExecutorSelection:
     def test_builtin_names_registered(self):
-        assert EXECUTOR_NAMES == ("serial", "process", "shard")
+        assert EXECUTOR_NAMES == ("serial", "process", "shard", "remote")
 
     def test_inferred_backends(self):
         assert isinstance(make_executor(jobs=1), SerialExecutor)
@@ -112,8 +112,34 @@ class TestExecutorSelection:
         assert make_executor(backend) is backend
 
     def test_unknown_name_rejected(self):
-        with pytest.raises(ExecutorError, match="unknown executor 'gpu'"):
+        """A typo'd name is answered with the full registered menu —
+        the same grammar the ``--engine`` error uses."""
+        expected = (
+            "unknown executor 'gpu'; "
+            "have ['process', 'remote', 'serial', 'shard']"
+        )
+        with pytest.raises(ExecutorError) as excinfo:
             make_executor("gpu")
+        assert str(excinfo.value) == expected
+
+    def test_remote_name_without_server_rejected(self, monkeypatch):
+        """Selecting ``remote`` by name needs $OOVR_SERVER."""
+        monkeypatch.delenv("OOVR_SERVER", raising=False)
+        with pytest.raises(ExecutorError, match="OOVR_SERVER"):
+            make_executor("remote")
+
+    def test_remote_name_resolves_from_env(self, monkeypatch):
+        from repro.service import RemoteExecutor
+
+        monkeypatch.setenv("OOVR_SERVER", "http://127.0.0.1:1")
+        executor = make_executor("remote")
+        assert isinstance(executor, RemoteExecutor)
+        assert executor.client.server == "http://127.0.0.1:1"
+
+    def test_remote_name_plus_shard_rejected(self, monkeypatch):
+        monkeypatch.setenv("OOVR_SERVER", "http://127.0.0.1:1")
+        with pytest.raises(ExecutorError, match="does not shard"):
+            make_executor("remote", shard="0/2")
 
     def test_shard_name_without_slice_rejected(self):
         with pytest.raises(ExecutorError, match="needs a slice"):
