@@ -123,9 +123,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if args.engine is not None:
         session.engine(args.engine)
-    result = session.run()
+    result = session.run(profile=args.profile)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
+        if session.last_profile is not None:
+            print(session.last_profile.table(), file=sys.stderr)
         return 0
     frame = result.frames[0]
     print(f"framework       : {result.framework}")
@@ -159,6 +161,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 engine.records, session.last_framework.config.num_gpms
             )
         )
+    if session.last_profile is not None:
+        print(session.last_profile.table())
     return 0
 
 
@@ -208,12 +212,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             # A URL that cannot even be parsed is a usage error (exit
             # 2), not a runtime service failure (exit 1).
             raise ExecutorError(str(error)) from None
+    if args.profile and (
+        args.jobs != 1 or args.shard or args.server or executor is not None
+    ):
+        raise ExecutorError(
+            "--profile runs serially; drop --jobs/--executor/--shard/--server"
+        )
     results = sweep.run(
         jobs=args.jobs,
         cache=cache,
         executor=executor,
         shard=args.shard,
         on_result=_on_result(args),
+        profile=args.profile,
     )
 
     from repro.stats.reporting import format_table
@@ -241,6 +252,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             title=title,
         )
     )
+    if results.profiles is not None:
+        for (spec, _), prof in zip(results, results.profiles):
+            print(
+                prof.table(
+                    f"{spec.framework} {spec.workload} "
+                    f"({spec.config_label})"
+                )
+            )
     if cache is not None:
         print(f"cache: {cache.stats.summary()} -> {args.cache}")
     if args.csv:
@@ -605,6 +624,11 @@ def make_parser() -> argparse.ArgumentParser:
         "discrete-event contention-aware timing (default: whatever "
         "the framework variant/config selects, i.e. analytic)",
     )
+    run.add_argument(
+        "--profile", action="store_true",
+        help="time the run phase by phase (scene build, bind, price, "
+        "execute) and print the wall-time breakdown",
+    )
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser(
@@ -660,6 +684,12 @@ def make_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print one line per completed cell (key prefix, hit/miss, "
         "framework, workload) to stderr",
+    )
+    sweep.add_argument(
+        "--profile", action="store_true",
+        help="time every cell phase by phase (scene build, bind, price, "
+        "execute, cache I/O), print per-cell breakdowns and export "
+        "profile_*_s record columns (serial execution only)",
     )
     sweep.set_defaults(func=_cmd_sweep)
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.tsl import texture_sharing_level
+from repro.core.tsl import byte_shares, tsl_from_shares
 from repro.scene.objects import RenderObject
 from repro.scene.texture import Texture
 
@@ -85,6 +85,16 @@ class OOMiddleware:
     def build_batches(self, objects: Sequence[RenderObject]) -> List[Batch]:
         """Run the Fig. 12 grouping loop over ``objects`` in order."""
         queue: List[RenderObject] = list(objects)
+        # A candidate's Eq. 1 share vector depends only on its own
+        # texture bindings, so compute each one once up front instead
+        # of once per (root, candidate) probe — the shares were the
+        # dominant cost of the O(n^2) scan.  The root's vector only
+        # changes when a merge grows its texture set, so it is
+        # recomputed on accept, not per probe.  Both vectors keep the
+        # scalar path's key order, making every TSL bit-identical.
+        shares_of: Dict[int, dict] = {
+            obj.object_id: byte_shares(obj.textures) for obj in objects
+        }
         batches: List[Batch] = []
         while queue:
             root = queue.pop(0)
@@ -93,6 +103,7 @@ class OOMiddleware:
             root_textures: Dict[int, Texture] = {
                 t.texture_id: t for t in root.textures
             }
+            root_shares = byte_shares(tuple(root_textures.values()))
             triangles = root.mesh.num_triangles
             limit = self.triangle_limit
             index = 0
@@ -108,8 +119,8 @@ class OOMiddleware:
                     limit += candidate.mesh.num_triangles
                     accept = True
                 else:
-                    tsl = texture_sharing_level(
-                        tuple(root_textures.values()), candidate.textures
+                    tsl = tsl_from_shares(
+                        root_shares, shares_of[candidate.object_id]
                     )
                     accept = tsl > self.tsl_threshold
                 if not accept:
@@ -120,6 +131,7 @@ class OOMiddleware:
                 member_ids.add(candidate.object_id)
                 for texture in candidate.textures:
                     root_textures.setdefault(texture.texture_id, texture)
+                root_shares = byte_shares(tuple(root_textures.values()))
                 triangles += candidate.mesh.num_triangles
             batches.append(Batch(batch_id=len(batches), objects=tuple(members)))
         return batches

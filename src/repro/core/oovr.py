@@ -42,16 +42,27 @@ class _BatchBuilder:
         self._middleware = OOMiddleware()
 
     def build(self, frame: Frame) -> List[Tuple[Batch, WorkUnit]]:
-        characterize = self._framework.characterizer.characterize
+        characterizer = self._framework.characterizer
         discount = self._framework.config.cost.batch_draw_discount
         batches = self._middleware.build_batches(frame.objects)
+        # One vectorized pass prices every object's multi-view draw
+        # (frame.object_batch order == frame.objects order); each batch
+        # then just gathers its members' units in draw order, so the
+        # merge sees the exact units the per-draw loop built.
+        units_by_object = dict(
+            zip(
+                (obj.object_id for obj in frame.objects),
+                characterizer.characterize_frame(
+                    frame, mode=SMPMode.SIMULTANEOUS, expansion="multiview"
+                ),
+            )
+        )
         out: List[Tuple[Batch, WorkUnit]] = []
         for batch in batches:
-            units = []
-            for obj in batch.objects:
-                draw = obj.multiview_draw()
-                units.append(characterize(draw, mode=SMPMode.SIMULTANEOUS))
-            merged = merge_units(f"batch{batch.batch_id}", tuple(units))
+            units = tuple(
+                units_by_object[obj.object_id] for obj in batch.objects
+            )
+            merged = merge_units(f"batch{batch.batch_id}", units)
             if len(batch.objects) > 1:
                 # Texture-sorted submission needs fewer state changes.
                 merged = replace(

@@ -55,6 +55,11 @@ class RenderingTimePredictor:
             raise ValueError("need at least one calibration batch")
         self.calibration_batches = calibration_batches
         self._observations: List[BatchObservation] = []
+        # Column buffers (triangles, tv, pixels, cycles) grown by
+        # doubling: refits slice these views instead of rebuilding
+        # arrays from the observation list on every observe() call.
+        self._columns = np.zeros((4, 16), dtype=np.float64)
+        self._count = 0
         self.c0: Optional[float] = None
         self.c1: Optional[float] = None
         self.c2: Optional[float] = None
@@ -68,28 +73,33 @@ class RenderingTimePredictor:
     def observe(self, observation: BatchObservation) -> None:
         """Record a completed batch; fits the model once enough arrive."""
         self._observations.append(observation)
-        if (
-            len(self._observations) >= self.calibration_batches
-            or self.is_calibrated
-        ):
+        if self._count == self._columns.shape[1]:
+            grown = np.zeros(
+                (4, self._columns.shape[1] * 2), dtype=np.float64
+            )
+            grown[:, : self._count] = self._columns
+            self._columns = grown
+        self._columns[0, self._count] = observation.triangles
+        self._columns[1, self._count] = observation.transformed_vertices
+        self._columns[2, self._count] = observation.rendered_pixels
+        self._columns[3, self._count] = observation.cycles
+        self._count += 1
+        if self._count >= self.calibration_batches or self.is_calibrated:
             self._fit()
 
     def _fit(self) -> None:
         """Fit c0 (triangle rate) and (c1, c2) by least squares."""
-        obs = self._observations
-        triangles = np.array([o.triangles for o in obs], dtype=float)
-        cycles = np.array([o.cycles for o in obs], dtype=float)
+        count = self._count
+        triangles = self._columns[0, :count]
+        cycles = self._columns[3, :count]
         valid = triangles > 0
         if valid.any():
             self.c0 = float(np.mean(cycles[valid] / triangles[valid]))
         else:
             self.c0 = float(np.mean(cycles))
         features = np.column_stack(
-            [
-                [o.transformed_vertices for o in obs],
-                [o.rendered_pixels for o in obs],
-            ]
-        ).astype(float)
+            [self._columns[1, :count], self._columns[2, :count]]
+        )
         # Non-negative-ish least squares: plain lstsq, floored at zero —
         # the hardware's c1/c2 are rates and cannot be negative.
         solution, *_ = np.linalg.lstsq(features, cycles, rcond=None)

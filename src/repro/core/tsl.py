@@ -26,8 +26,15 @@ from typing import Iterable, Sequence
 from repro.scene.texture import Texture
 
 
-def _byte_shares(textures: Sequence[Texture]) -> dict[int, float]:
-    """Per-texture byte share of one side's footprint (duplicates once)."""
+def byte_shares(textures: Sequence[Texture]) -> dict[int, float]:
+    """Per-texture byte share of one side's footprint (duplicates once).
+
+    Public so the middleware can precompute each side's share vector
+    once and reuse it across the O(n^2) grouping scan — the shares only
+    depend on one side's texture set, not on the pairing.  Key order is
+    first-seen binding order, which :func:`tsl_from_shares` relies on
+    for bit-exact summation order.
+    """
     unique: dict[int, int] = {}
     for texture in textures:
         unique[texture.texture_id] = texture.size_bytes
@@ -37,13 +44,20 @@ def _byte_shares(textures: Sequence[Texture]) -> dict[int, float]:
     return {tid: size / total for tid, size in unique.items()}
 
 
-def texture_sharing_level(
-    root_textures: Sequence[Texture],
-    target_textures: Sequence[Texture],
+#: Backwards-compatible alias (pre-memoisation name).
+_byte_shares = byte_shares
+
+
+def tsl_from_shares(
+    root_shares: dict[int, float],
+    target_shares: dict[int, float],
 ) -> float:
-    """Eq. 1: the TSL between a root texture set and a target object."""
-    root_shares = _byte_shares(root_textures)
-    target_shares = _byte_shares(target_textures)
+    """Eq. 1 evaluated on precomputed share vectors.
+
+    Exactly :func:`texture_sharing_level` minus the share computation:
+    same set intersection, same summation order, so memoised callers
+    get bit-identical TSL values.
+    """
     shared = set(root_shares) & set(target_shares)
     if not shared:
         return 0.0
@@ -52,6 +66,14 @@ def texture_sharing_level(
     if denominator <= 0:
         return 0.0
     return numerator / denominator
+
+
+def texture_sharing_level(
+    root_textures: Sequence[Texture],
+    target_textures: Sequence[Texture],
+) -> float:
+    """Eq. 1: the TSL between a root texture set and a target object."""
+    return tsl_from_shares(byte_shares(root_textures), byte_shares(target_textures))
 
 
 def should_group(

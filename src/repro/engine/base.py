@@ -72,6 +72,7 @@ from repro.memory.cache import miss_bytes
 from repro.memory.link import TrafficType
 from repro.pipeline.timing import price_work_unit
 from repro.pipeline.workunit import WorkUnit
+from repro.profiling import phase as profiled_phase
 from repro.stats.metrics import UnitExecution
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -297,8 +298,24 @@ class ExecutionEngine(abc.ABC):
         system = self.system
         if not 0 <= gpm_id < system.num_gpms:
             raise ValueError(f"GPM {gpm_id} out of range")
-        breakdown = price_work_unit(unit, system.config.gpm, system.config.cost)
+        with profiled_phase("price"):
+            breakdown = price_work_unit(
+                unit, system.config.gpm, system.config.cost
+            )
+        with profiled_phase("bind"):
+            return self._bind_resolved(
+                unit, gpm_id, fb_targets, command_source, breakdown
+            )
 
+    def _bind_resolved(
+        self,
+        unit: WorkUnit,
+        gpm_id: int,
+        fb_targets: Optional["FramebufferTargets"],
+        command_source: int,
+        breakdown,
+    ) -> ResolvedUnit:
+        system = self.system
         local_bytes = 0.0
         link_bytes: Dict[int, float] = {}
         flows: List[LinkFlow] = []
@@ -496,7 +513,10 @@ class ExecutionEngine(abc.ABC):
         """Schedule ``resolved`` on its GPM and advance the clock."""
         system = self.system
         gpm = system.gpms[resolved.gpm]
-        dram_cycles, link_cycles, cycles, bottleneck = self.price(resolved)
+        with profiled_phase("price"):
+            dram_cycles, link_cycles, cycles, bottleneck = self.price(
+                resolved
+            )
         begin = (
             gpm.ready_at if start_at is None else max(gpm.ready_at, start_at)
         )

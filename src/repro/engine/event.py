@@ -65,6 +65,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.engine.base import (
     CompositionSchedule,
     EngineError,
@@ -113,43 +115,114 @@ class _Job:
     provisional_cycles: float
 
 
-class _ActiveFlow:
-    """Runtime state of one flow while its job is active."""
+class _RunState:
+    """Runtime handle of one activated job.
 
-    __slots__ = ("route", "latency_remaining", "bytes_remaining", "rate_scale")
+    The demand state itself lives in the pass's :class:`_JobArrays`
+    rows (indexed by ``idx``); this is just the bookkeeping needed to
+    emit the job's trace interval when it retires.
+    """
 
-    def __init__(self, spec: _FlowSpec) -> None:
-        self.route = spec.route
-        self.latency_remaining = spec.latency
-        self.bytes_remaining = spec.nbytes
-        self.rate_scale = spec.rate_scale
+    __slots__ = ("job", "idx", "start")
 
-    @property
-    def done(self) -> bool:
-        return self.latency_remaining <= _EPS and self.bytes_remaining <= _EPS
-
-
-class _ActiveJob:
-    """Runtime state of one job while it executes."""
-
-    __slots__ = ("job", "start", "compute_remaining", "dram_remaining", "flows")
-
-    def __init__(self, job: _Job, start: float) -> None:
+    def __init__(self, job: _Job, idx: int, start: float) -> None:
         self.job = job
+        self.idx = idx
         self.start = start
-        self.compute_remaining = job.compute
-        self.dram_remaining = {
-            gpm: nbytes for gpm, nbytes in job.dram.items() if nbytes > _EPS
-        }
-        self.flows = [_ActiveFlow(spec) for spec in job.flows]
 
-    @property
-    def done(self) -> bool:
-        return (
-            self.compute_remaining <= _EPS
-            and all(b <= _EPS for b in self.dram_remaining.values())
-            and all(flow.done for flow in self.flows)
+
+class _JobArrays:
+    """Struct-of-array demand state for one simulation pass.
+
+    One row per DRAM demand and per link flow across *all* jobs of the
+    pass, built once after every ``_note_shed`` scale-down has been
+    applied.  Each window's bandwidth shares, next-event horizon and
+    depletion are then elementwise float64 expressions over these rows
+    — the exact expressions the retired per-object loop evaluated, so
+    completion times (and the goldens pinned on them) are bit-equal.
+    Routes are stored CSR-style over a first-seen link table so
+    per-flow rates reduce with ``np.minimum.reduceat``.
+    """
+
+    def __init__(self, jobs: Sequence[_Job]) -> None:
+        self.count = len(jobs)
+        self.compute = np.array(
+            [job.compute for job in jobs], dtype=np.float64
         )
+        dram_job: List[int] = []
+        dram_gpm: List[int] = []
+        dram_rem: List[float] = []
+        flow_job: List[int] = []
+        flow_lat: List[float] = []
+        flow_bytes: List[float] = []
+        flow_scale: List[float] = []
+        route_counts: List[int] = []
+        route_links: List[int] = []
+        link_ids: Dict[Link, int] = {}
+        for idx, job in enumerate(jobs):
+            for gpm, nbytes in job.dram.items():
+                # Mirrors the old _ActiveJob filter: float-dust DRAM
+                # demands never participate.
+                if nbytes > _EPS:
+                    dram_job.append(idx)
+                    dram_gpm.append(gpm)
+                    dram_rem.append(nbytes)
+            for spec in job.flows:
+                flow_job.append(idx)
+                flow_lat.append(spec.latency)
+                flow_bytes.append(spec.nbytes)
+                flow_scale.append(spec.rate_scale)
+                route_counts.append(len(spec.route))
+                for link in spec.route:
+                    lid = link_ids.setdefault(link, len(link_ids))
+                    route_links.append(lid)
+        # Contiguous per-job row ranges (jobs were walked in order), so
+        # activation/retirement toggles the row masks with one slice.
+        self.job_d0 = np.zeros(self.count + 1, dtype=np.int64)
+        self.job_f0 = np.zeros(self.count + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(
+                np.asarray(dram_job, dtype=np.int64), minlength=self.count
+            ),
+            out=self.job_d0[1:],
+        )
+        np.cumsum(
+            np.bincount(
+                np.asarray(flow_job, dtype=np.int64), minlength=self.count
+            ),
+            out=self.job_f0[1:],
+        )
+        self.dram_job = np.asarray(dram_job, dtype=np.int64)
+        self.dram_gpm = np.asarray(dram_gpm, dtype=np.int64)
+        self.dram_rem = np.asarray(dram_rem, dtype=np.float64)
+        self.flow_job = np.asarray(flow_job, dtype=np.int64)
+        self.flow_lat = np.asarray(flow_lat, dtype=np.float64)
+        self.flow_bytes = np.asarray(flow_bytes, dtype=np.float64)
+        self.flow_scale = np.asarray(flow_scale, dtype=np.float64)
+        counts = np.asarray(route_counts, dtype=np.int64)
+        self.route_offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+        )
+        self.route_links = np.asarray(route_links, dtype=np.int64)
+        #: Flow row of each route element (for masking/bincount).
+        self.route_rep = np.repeat(
+            np.arange(len(route_counts), dtype=np.int64), counts
+        )
+        self.route_len = counts.astype(np.float64)
+        #: Link table in first-seen order; row i is link id i.
+        self.links: List[Link] = list(link_ids)
+        # Open memory/flow components per job (a flow is one component:
+        # done only once latency *and* bytes drain).  The simulation
+        # copy is decremented as rows cross the dust threshold, so the
+        # retirement predicate is two scalar reads, and a job with no
+        # live demand at all completes instantly on activation (the
+        # same predicate the per-object loop evaluated).
+        pending = np.bincount(self.dram_job, minlength=self.count)
+        not_done = (self.flow_lat > _EPS) | (self.flow_bytes > _EPS)
+        self.pending0 = pending + np.bincount(
+            self.flow_job[not_done], minlength=self.count
+        )
+        self.zero_demand = (self.compute <= _EPS) & (self.pending0 == 0)
 
 
 @dataclass
@@ -381,20 +454,40 @@ class EventEngine(ExecutionEngine):
         dram_bw = system.config.gpm.dram_bytes_per_cycle
         link_bw = system.config.link.bytes_per_cycle
 
+        all_jobs: List[_Job] = [*jobs, *background]
+        arrays = _JobArrays(all_jobs)
+        index_of = {id(job): idx for idx, job in enumerate(all_jobs)}
+        compute_rem = arrays.compute
+        dram_job, dram_gpm = arrays.dram_job, arrays.dram_gpm
+        dram_rem = arrays.dram_rem
+        flow_job, flow_lat = arrays.flow_job, arrays.flow_lat
+        flow_bytes, flow_scale = arrays.flow_bytes, arrays.flow_scale
+        route_offsets, route_links = arrays.route_offsets, arrays.route_links
+        route_rep, route_len = arrays.route_rep, arrays.route_len
+        job_d0, job_f0 = arrays.job_d0, arrays.job_f0
+        num_links = len(arrays.links)
+        have_dram = dram_job.size > 0
+        have_flows = flow_job.size > 0
+        run_mask = np.zeros(arrays.count, dtype=bool)
+        #: Row-level running masks, toggled by slice on (de)activation.
+        d_run = np.zeros(dram_job.size, dtype=bool)
+        f_run = np.zeros(flow_job.size, dtype=bool)
+        pending = arrays.pending0.copy()
+        link_busy_acc = np.zeros(num_links, dtype=np.float64)
+
         queues: List[deque] = [deque() for _ in range(n)]
         for job in jobs:
             queues[job.gpm].append(job)
         bg_pending: List[_Job] = sorted(
             background, key=lambda job: job.start_floor
         )
-        bg_active: List[_ActiveJob] = []
+        bg_active: List[_RunState] = []
 
-        active: Dict[int, _ActiveJob] = {}
+        active: Dict[int, _RunState] = {}
         t = 0.0
         busy = [0.0] * n
         end = [0.0] * n
         intervals: List[TraceInterval] = []
-        link_busy: Dict[Link, float] = {}
         link_bytes: Dict[Link, float] = {}
 
         def account_bytes(job: _Job) -> None:
@@ -430,19 +523,23 @@ class EventEngine(ExecutionEngine):
                         next_start = min(next_start, floor)
                         break
                     job = queues[gpm].popleft()
-                    state = _ActiveJob(job, start=max(t, floor))
-                    if state.done:  # zero-demand unit: instantaneous
+                    idx = index_of[id(job)]
+                    start = max(t, floor)
+                    if arrays.zero_demand[idx]:  # instantaneous
                         intervals.append(
                             TraceInterval(
                                 gpm=gpm, label=job.label,
-                                start=state.start, end=state.start,
+                                start=start, end=start,
                                 kind=job.kind,
                             )
                         )
-                        end[gpm] = max(end[gpm], state.start)
+                        end[gpm] = max(end[gpm], start)
                         account_bytes(job)
                         continue
-                    active[gpm] = state
+                    active[gpm] = _RunState(job, idx, start)
+                    run_mask[idx] = True
+                    d_run[job_d0[idx] : job_d0[idx + 1]] = True
+                    f_run[job_f0[idx] : job_f0[idx + 1]] = True
             # Background copies activate on their floor regardless of
             # what their GPM is doing — the copy engines, not the SMs,
             # move the bytes.
@@ -452,94 +549,124 @@ class EventEngine(ExecutionEngine):
                     next_start = min(next_start, floor)
                     break
                 job = bg_pending.pop(0)
-                state = _ActiveJob(job, start=max(t, floor))
-                if state.done:
+                idx = index_of[id(job)]
+                start = max(t, floor)
+                if arrays.zero_demand[idx]:
                     intervals.append(
                         TraceInterval(
                             gpm=job.gpm, label=job.label,
-                            start=state.start, end=state.start,
+                            start=start, end=start,
                             kind=job.kind,
                         )
                     )
                     account_bytes(job)
                     continue
-                bg_active.append(state)
+                bg_active.append(_RunState(job, idx, start))
+                run_mask[idx] = True
+                d_run[job_d0[idx] : job_d0[idx + 1]] = True
+                f_run[job_f0[idx] : job_f0[idx + 1]] = True
 
-            running = list(active.values()) + bg_active
-            if not running:
+            if not active and not bg_active:
                 if next_start == float("inf"):
                     break
                 t = next_start
                 continue
 
-            # Concurrent users per shared resource in this window.
-            dram_users: Dict[int, int] = {}
-            link_users: Dict[Link, int] = {}
-            for state in running:
-                for gpm, nbytes in state.dram_remaining.items():
-                    if nbytes > _EPS:
-                        dram_users[gpm] = dram_users.get(gpm, 0) + 1
-                for flow in state.flows:
-                    if flow.latency_remaining <= _EPS and flow.bytes_remaining > _EPS:
-                        for link in flow.route:
-                            link_users[link] = link_users.get(link, 0) + 1
-
-            def flow_rate(flow: _ActiveFlow) -> float:
-                # Bandwidth share on the most contended link of the
-                # route, serialised over the hop count — uncontended
-                # this reproduces the analytic bytes x hops wire-load
-                # charge exactly, so engine gaps isolate contention.
-                return (
-                    min(link_bw / link_users[link] for link in flow.route)
-                    * flow.rate_scale
-                    / len(flow.route)
+            # Concurrent users per shared resource in this window, as
+            # bincounts over the live demand rows.
+            if have_dram:
+                d_idx = np.nonzero(d_run & (dram_rem > _EPS))[0]
+                if d_idx.size:
+                    d_gpm = dram_gpm[d_idx]
+                    dram_users = np.bincount(d_gpm, minlength=n)
+                    #: Per-row bandwidth share, same expression the
+                    #: per-object loop divided with.
+                    dram_share = dram_bw / dram_users[d_gpm]
+            if have_flows:
+                lat_open = flow_lat > _EPS
+                lat_idx = np.nonzero(f_run & lat_open)[0]
+                b_mask = f_run & ~lat_open & (flow_bytes > _EPS)
+                b_idx = np.nonzero(b_mask)[0]
+                link_users = np.bincount(
+                    route_links[b_mask[route_rep]], minlength=num_links
                 )
+                if b_idx.size:
+                    # Bandwidth share on the most contended link of
+                    # each route, serialised over the hop count —
+                    # uncontended this reproduces the analytic bytes x
+                    # hops wire-load charge exactly, so engine gaps
+                    # isolate contention.  (Links with no active flow
+                    # are floored to one user; their garbage rates are
+                    # masked out by b_idx.)
+                    per_hop = link_bw / np.maximum(link_users, 1)[route_links]
+                    b_rate = (
+                        np.minimum.reduceat(per_hop, route_offsets[:-1])
+                        * flow_scale
+                    )[b_idx] / route_len[b_idx]
+                    b_bytes = flow_bytes[b_idx]
 
             # Time to the next completion or rate change.
             dt = next_start - t if next_start != float("inf") else float("inf")
-            for state in running:
-                if state.compute_remaining > _EPS:
-                    dt = min(dt, state.compute_remaining)
-                for gpm, nbytes in state.dram_remaining.items():
-                    if nbytes > _EPS:
-                        dt = min(dt, nbytes / (dram_bw / dram_users[gpm]))
-                for flow in state.flows:
-                    if flow.latency_remaining > _EPS:
-                        dt = min(dt, flow.latency_remaining)
-                    elif flow.bytes_remaining > _EPS:
-                        dt = min(dt, flow.bytes_remaining / flow_rate(flow))
+            c_idx = np.nonzero(run_mask & (compute_rem > _EPS))[0]
+            if c_idx.size:
+                dt = min(dt, float(compute_rem[c_idx].min()))
+            if have_dram and d_idx.size:
+                dt = min(dt, float((dram_rem[d_idx] / dram_share).min()))
+            if have_flows:
+                if lat_idx.size:
+                    dt = min(dt, float(flow_lat[lat_idx].min()))
+                if b_idx.size:
+                    dt = min(dt, float((b_bytes / b_rate).min()))
 
             if dt == float("inf"):
                 dt = 0.0
             dt = max(dt, 0.0)
 
-            # Advance the window: deplete demands, accumulate occupancy.
+            # Advance the window: deplete demands, accumulate occupancy
+            # and retire the per-job open-component counts as rows
+            # cross the dust threshold.
             if dt > 0.0:
                 t += dt
                 for gpm in active:
                     busy[gpm] += dt
-                for link, users in link_users.items():
-                    if users > 0:
-                        link_busy[link] = link_busy.get(link, 0.0) + dt
-                for state in running:
-                    if state.compute_remaining > _EPS:
-                        state.compute_remaining -= dt
-                    for gpm in list(state.dram_remaining):
-                        nbytes = state.dram_remaining[gpm]
-                        if nbytes > _EPS:
-                            state.dram_remaining[gpm] = nbytes - dt * (
-                                dram_bw / dram_users[gpm]
-                            )
-                    for flow in state.flows:
-                        if flow.latency_remaining > _EPS:
-                            flow.latency_remaining -= dt
-                        elif flow.bytes_remaining > _EPS:
-                            flow.bytes_remaining -= dt * flow_rate(flow)
+                if have_flows:
+                    link_busy_acc[link_users > 0] += dt
+                if c_idx.size:
+                    compute_rem[c_idx] -= dt
+                if have_dram and d_idx.size:
+                    new_d = dram_rem[d_idx] - dt * dram_share
+                    dram_rem[d_idx] = new_d
+                    closed = d_idx[new_d <= _EPS]
+                    if closed.size:
+                        np.subtract.at(pending, dram_job[closed], 1)
+                if have_flows:
+                    if lat_idx.size:
+                        new_l = flow_lat[lat_idx] - dt
+                        flow_lat[lat_idx] = new_l
+                        expired = lat_idx[new_l <= _EPS]
+                        if expired.size:
+                            # A flow with nothing left to stream is
+                            # done the moment its wire latency drains.
+                            settled = expired[flow_bytes[expired] <= _EPS]
+                            if settled.size:
+                                np.subtract.at(
+                                    pending, flow_job[settled], 1
+                                )
+                    if b_idx.size:
+                        new_b = b_bytes - dt * b_rate
+                        flow_bytes[b_idx] = new_b
+                        drained = b_idx[new_b <= _EPS]
+                        if drained.size:
+                            np.subtract.at(pending, flow_job[drained], 1)
 
-            # Retire completed jobs.
+            # Retire completed jobs: compute drained and no DRAM or
+            # flow component still above the dust threshold.
             for gpm in list(active):
                 state = active[gpm]
-                if not state.done and dt > 0.0:
+                if dt > 0.0 and not (
+                    compute_rem[state.idx] <= _EPS
+                    and pending[state.idx] == 0
+                ):
                     continue
                 intervals.append(
                     TraceInterval(
@@ -550,8 +677,15 @@ class EventEngine(ExecutionEngine):
                 end[gpm] = max(end[gpm], t)
                 account_bytes(state.job)
                 del active[gpm]
+                idx = state.idx
+                run_mask[idx] = False
+                d_run[job_d0[idx] : job_d0[idx + 1]] = False
+                f_run[job_f0[idx] : job_f0[idx + 1]] = False
             for state in list(bg_active):
-                if not state.done and dt > 0.0:
+                if dt > 0.0 and not (
+                    compute_rem[state.idx] <= _EPS
+                    and pending[state.idx] == 0
+                ):
                     continue
                 intervals.append(
                     TraceInterval(
@@ -561,7 +695,15 @@ class EventEngine(ExecutionEngine):
                 )
                 account_bytes(state.job)
                 bg_active.remove(state)
+                idx = state.idx
+                run_mask[idx] = False
+                d_run[job_d0[idx] : job_d0[idx + 1]] = False
+                f_run[job_f0[idx] : job_f0[idx + 1]] = False
 
+        link_busy: Dict[Link, float] = {
+            arrays.links[i]: float(link_busy_acc[i])
+            for i in np.nonzero(link_busy_acc > 0.0)[0]
+        }
         return _SimResult(
             busy=busy,
             end=end,

@@ -41,8 +41,10 @@ class AlternateFrameRendering(RenderingFramework):
         self, system: MultiGPUSystem, frame: Frame, workload: str
     ) -> FrameResult:
         gpm = self._frame_gpm(frame)
-        for draw in frame.stereo_draws():
-            unit = self.characterizer.characterize(draw, mode=SMPMode.SEQUENTIAL)
+        units = self.characterizer.characterize_frame(
+            frame, mode=SMPMode.SEQUENTIAL, expansion="stereo"
+        )
+        for unit in units:
             # Segmented memory: replicate this frame's resources into the
             # rendering GPM's segment so every access is local.
             for touch in unit.texture_touches + unit.vertex_touches:

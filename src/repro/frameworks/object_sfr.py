@@ -58,7 +58,10 @@ class ObjectLevelSFR(RenderingFramework):
         staging.begin_frame()
         next_gpm = 0
         assigned_gpm_of_object: Dict[int, int] = {}
-        for draw in frame.stereo_draws():
+        units = self.characterizer.characterize_frame(
+            frame, mode=SMPMode.SEQUENTIAL, expansion="stereo"
+        )
+        for draw, unit in zip(frame.stereo_draws(), units):
             # Profiling pass assigns draws round-robin in programmer
             # order; objects with dependencies follow their parent so
             # the programmer-defined order holds on one GPM.
@@ -69,7 +72,6 @@ class ObjectLevelSFR(RenderingFramework):
                 gpm = next_gpm
                 next_gpm = (next_gpm + 1) % num_gpms
             assigned_gpm_of_object[draw.obj.object_id] = gpm
-            unit = self.characterizer.characterize(draw, mode=SMPMode.SEQUENTIAL)
             staging.stage_unit(unit, gpm)
             system.execute_unit(
                 unit, gpm, fb_targets={gpm: 1.0}, command_source=self.root

@@ -40,7 +40,7 @@ class SingleKernelBaseline(RenderingFramework):
 
     placement_policy = PlacementPolicy.INTERLEAVED
 
-    def _place_uploads(self, system: MultiGPUSystem, frame: Frame) -> None:
+    def _place_uploads(self, system: MultiGPUSystem, units) -> None:
         """Application uploads land on one GPM (Fig. 3's story).
 
         Under the single-GPU illusion the app's texture and vertex
@@ -50,8 +50,7 @@ class SingleKernelBaseline(RenderingFramework):
         remote memory accesses".  The framebuffer stays interleaved
         (the placement policy) so ROP writes spread out.
         """
-        for draw in frame.stereo_draws():
-            unit = self.characterizer.characterize(draw, mode=SMPMode.SEQUENTIAL)
+        for unit in units:
             for touch in unit.texture_touches + unit.vertex_touches:
                 if not system.placement.is_placed(touch.resource):
                     system.placement.place_fixed(touch.resource, UPLOAD_GPM)
@@ -65,9 +64,13 @@ class SingleKernelBaseline(RenderingFramework):
         fb_targets: FramebufferTargets = {
             gpm: even_share for gpm in range(num_gpms)
         }
-        self._place_uploads(system, frame)
-        for draw in frame.stereo_draws():
-            unit = self.characterizer.characterize(draw, mode=SMPMode.SEQUENTIAL)
+        # One vectorized pass over the frame's SoA batch prices the
+        # whole sequential-stereo draw stream (stereo_draws order).
+        units = self.characterizer.characterize_frame(
+            frame, mode=SMPMode.SEQUENTIAL, expansion="stereo"
+        )
+        self._place_uploads(system, units)
+        for unit in units:
             if num_gpms == 1:
                 system.execute_unit(unit, 0, fb_targets=fb_targets)
                 continue

@@ -20,14 +20,23 @@ in cycles:
 
 from repro.pipeline.workunit import WorkUnit
 from repro.pipeline.smp import SMPEngine, SMPMode
+from repro.pipeline.batch import (
+    FrameCounters,
+    frame_counters,
+    work_units_from_counters,
+)
 from repro.pipeline.characterize import DrawCharacterizer
-from repro.pipeline.timing import StageBreakdown, price_work_unit
+from repro.pipeline.timing import StageBreakdown, price_work_unit, price_work_units
 
 __all__ = [
     "WorkUnit",
     "SMPEngine",
     "SMPMode",
     "DrawCharacterizer",
+    "FrameCounters",
+    "frame_counters",
+    "work_units_from_counters",
     "StageBreakdown",
     "price_work_unit",
+    "price_work_units",
 ]

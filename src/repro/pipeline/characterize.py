@@ -10,14 +10,18 @@ batches.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.config import CostModel, SystemConfig
 from repro.memory.address import Touch, vertex_resource
+from repro.pipeline.batch import frame_counters, work_units_from_counters
 from repro.pipeline.fragment import depth_and_color_demand, texture_touches_for_draw
 from repro.pipeline.smp import GeometryWork, SMPEngine, SMPMode
 from repro.pipeline.workunit import WorkUnit
 from repro.scene.objects import Eye, StereoDraw
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scene.scene import Frame
 
 
 class DrawCharacterizer:
@@ -87,6 +91,27 @@ class DrawCharacterizer:
             command_bytes=cost.command_bytes_per_draw,
             viewports=draw.viewports(),
         )
+
+    def characterize_frame(
+        self,
+        frame: "Frame",
+        mode: SMPMode = SMPMode.SIMULTANEOUS,
+        expansion: str = "multiview",
+    ) -> Tuple[WorkUnit, ...]:
+        """Price every draw of ``frame`` in one vectorized pass.
+
+        Returns units in draw order: ``expansion="multiview"`` aligns
+        with :meth:`Frame.multiview_draws`, ``"stereo"`` with
+        :meth:`Frame.stereo_draws`.  Each unit is field-for-field
+        identical (touches included) to :meth:`characterize` on the
+        corresponding draw — the SoA layout changes the walk, never the
+        numbers.
+        """
+        batch = frame.object_batch
+        counters = frame_counters(
+            batch, self.cost, mode=mode, expansion=expansion
+        )
+        return work_units_from_counters(batch, counters, self.cost)
 
     def characterize_stereo_pair(self, draw: StereoDraw) -> Tuple[WorkUnit, ...]:
         """Both per-eye units of an object (sequential stereo trace)."""

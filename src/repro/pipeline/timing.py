@@ -23,6 +23,9 @@ ROP             ``num_rops`` x ``rop_pixels_per_cycle``
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
 
 from repro.config import CostModel, GPMConfig
 from repro.pipeline.workunit import WorkUnit
@@ -108,4 +111,52 @@ def price_work_unit(
         texture_cycles=texture_cycles,
         rop_cycles=rop_cycles,
         overhead_cycles=overhead_cycles,
+    )
+
+
+def price_work_units(
+    units: Sequence[WorkUnit], gpm: GPMConfig, cost: CostModel
+) -> Tuple[StageBreakdown, ...]:
+    """Price many units at once with the Eq. 3 stage maths vectorized.
+
+    Same numbers as mapping :func:`price_work_unit` over ``units`` —
+    every stage expression is evaluated elementwise over the unit
+    columns (exact float64 products/quotients, nothing reduced), so the
+    breakdowns are interchangeable with the scalar ones.  Used where a
+    whole batch is priced with no interleaved memory-system side
+    effects (calibration, benches, straggler what-ifs).
+    """
+    if not units:
+        return ()
+    cores = gpm.shader_cores
+    setup_rate = gpm.num_pmes * cost.triangles_per_cycle_per_pme
+    vertices = np.array([unit.vertices for unit in units])
+    triangles_setup = np.array([unit.triangles_setup for unit in units])
+    fragments = np.array([unit.fragments for unit in units])
+    complexity = np.array([unit.shader_complexity for unit in units])
+    texels = np.array([unit.texel_requests for unit in units])
+    pixels = np.array([unit.pixels_out for unit in units])
+    draws = np.array([unit.draw_count for unit in units])
+
+    vertex_cycles = vertices * cost.vertex_shader_cycles / cores
+    setup_cycles = triangles_setup / setup_rate
+    raster_cycles = fragments / cost.raster_fragments_per_cycle
+    fragment_cycles = (
+        fragments * cost.fragment_shader_cycles * complexity / cores
+    )
+    samples = texels / cost.anisotropic_texels_per_sample
+    texture_cycles = samples / gpm.texture_units
+    rop_cycles = pixels / gpm.rop_throughput
+    overhead_cycles = cost.draw_overhead_cycles * draws
+    return tuple(
+        StageBreakdown(
+            vertex_cycles=vertex_cycles[i],
+            setup_cycles=setup_cycles[i],
+            raster_cycles=raster_cycles[i],
+            fragment_cycles=fragment_cycles[i],
+            texture_cycles=texture_cycles[i],
+            rop_cycles=rop_cycles[i],
+            overhead_cycles=overhead_cycles[i],
+        )
+        for i in range(len(units))
     )

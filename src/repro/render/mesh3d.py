@@ -13,11 +13,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Tuple
 
 import numpy as np
 
 from repro.render.math3d import transform_points
+from repro.scene.batch import TriangleBatch
 from repro.scene.geometry import Mesh
 
 __all__ = [
@@ -72,6 +74,15 @@ class TriangleMesh:
     @property
     def num_triangles(self) -> int:
         return len(self.faces)
+
+    @cached_property
+    def batch(self) -> TriangleBatch:
+        """The SoA triangle view (gathered UVs + batched front end).
+
+        Cached per mesh: meshes are immutable and shared across draws,
+        so the gather happens once, not once per rasterised draw.
+        """
+        return TriangleBatch.from_geometry(self.uvs, self.faces)
 
     def transformed(self, matrix: np.ndarray) -> "TriangleMesh":
         """This mesh with ``matrix`` applied to every vertex."""

@@ -16,7 +16,7 @@ under a second.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Callable, Optional, Tuple
 
 import numpy as np
@@ -49,17 +49,16 @@ class DrawStats:
     pixels_written: int = 0
 
     def merged_with(self, other: "DrawStats") -> "DrawStats":
-        """Element-wise sum (for whole-frame roll-ups)."""
+        """Element-wise sum (for whole-frame roll-ups).
+
+        Derived from the dataclass fields so a newly added counter can
+        never silently drop out of the roll-up.
+        """
         return DrawStats(
-            triangles_in=self.triangles_in + other.triangles_in,
-            triangles_culled=self.triangles_culled + other.triangles_culled,
-            triangles_clipped=self.triangles_clipped + other.triangles_clipped,
-            triangles_rasterised=self.triangles_rasterised
-            + other.triangles_rasterised,
-            vertices_transformed=self.vertices_transformed
-            + other.vertices_transformed,
-            fragments_shaded=self.fragments_shaded + other.fragments_shaded,
-            pixels_written=self.pixels_written + other.pixels_written,
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
         )
 
     @property
@@ -169,6 +168,72 @@ class Rasterizer:
         stats.vertices_transformed = mesh.num_vertices
         screen, w = self._to_screen(clip)
 
+        # Batched front end: near-plane rejection, degenerate and
+        # back-face culling run over every face at once; only the
+        # survivors reach the per-triangle coverage loop, in original
+        # face order so the depth-test outcome (and hence every written
+        # pixel) matches the per-triangle reference path exactly.
+        batch = mesh.batch
+        tri, tri_w, near_reject, area = batch.front_end(screen, w)
+        stats.triangles_clipped = int(near_reject.sum())
+        if cull_backfaces:
+            backface = area >= 0.0
+        else:
+            backface = area == 0.0
+        # Batched scissor/bbox rejection: the same integral bounds the
+        # coverage step computes, evaluated in float (floor/ceil values
+        # are exactly representable), so the emptiness test matches the
+        # per-triangle ``min_x >= max_x`` check bit for bit.
+        sx0, sy0, sx1, sy1 = self.scissor
+        xs = tri[:, :, 0]
+        ys = tri[:, :, 1]
+        offscreen = (
+            np.maximum(sx0, np.floor(xs.min(axis=1)))
+            >= np.minimum(sx1, np.ceil(xs.max(axis=1)) + 1.0)
+        ) | (
+            np.maximum(sy0, np.floor(ys.min(axis=1)))
+            >= np.minimum(sy1, np.ceil(ys.max(axis=1)) + 1.0)
+        )
+        culled = ~near_reject & (backface | offscreen)
+        stats.triangles_culled = int(culled.sum())
+        face_uvs = batch.face_uvs
+        for f in np.nonzero(~(near_reject | culled))[0]:
+            stats_drawn = self._raster_coverage(
+                tri[f], face_uvs[f], tri_w[f], area[f], shader
+            )
+            if stats_drawn is None:
+                stats.triangles_culled += 1
+                continue
+            shaded, written = stats_drawn
+            stats.triangles_rasterised += 1
+            stats.fragments_shaded += shaded
+            stats.pixels_written += written
+        self.target.pixels_written += stats.pixels_written
+        return stats
+
+    def draw_mesh_reference(
+        self,
+        mesh: TriangleMesh,
+        mvp: np.ndarray,
+        shader: Optional[FragmentShader] = None,
+        cull_backfaces: bool = True,
+    ) -> DrawStats:
+        """The retained per-triangle reference path.
+
+        Walks faces one at a time exactly as the pre-SoA pipeline did.
+        Kept as the oracle for the SoA == AoS property tests — it must
+        produce the same :class:`DrawStats` and framebuffer contents as
+        :meth:`draw_mesh` on any input.
+        """
+        if shader is None:
+            shader = checker_shader()
+        stats = DrawStats(triangles_in=mesh.num_triangles)
+        if mesh.num_triangles == 0:
+            return stats
+        clip = transform_points(mvp, mesh.positions)
+        stats.vertices_transformed = mesh.num_vertices
+        screen, w = self._to_screen(clip)
+
         for face in mesh.faces:
             tri_w = w[face]
             if np.any(tri_w <= 1e-9):
@@ -212,7 +277,22 @@ class Rasterizer:
             return None
         if cull_backfaces and area > 0.0:
             return None
+        return self._raster_coverage(tri, uv, tri_w, area, shader)
 
+    def _raster_coverage(
+        self,
+        tri: np.ndarray,
+        uv: np.ndarray,
+        tri_w: np.ndarray,
+        area: float,
+        shader: FragmentShader,
+    ) -> Optional[Tuple[int, int]]:
+        """Coverage, interpolation and writes for one accepted triangle.
+
+        ``area`` is the precomputed signed twice-area (non-zero); the
+        caller has already handled near-plane rejection and culling.
+        """
+        (x0, y0), (x1, y1), (x2, y2) = tri[:, 0:2]
         sx0, sy0, sx1, sy1 = self.scissor
         min_x = max(sx0, int(np.floor(min(x0, x1, x2))))
         max_x = min(sx1, int(np.ceil(max(x0, x1, x2))) + 1)
@@ -221,16 +301,15 @@ class Rasterizer:
         if min_x >= max_x or min_y >= max_y:
             return None
 
-        xs = np.arange(min_x, max_x, dtype=np.float64) + 0.5
-        ys = np.arange(min_y, max_y, dtype=np.float64) + 0.5
-        px, py = np.meshgrid(xs, ys)
+        # Open row/column grids: broadcasting materialises the same
+        # (H, W) edge-function values meshgrid-based code would, minus
+        # the full coordinate copies.
+        px = np.arange(min_x, max_x, dtype=np.float64)[None, :] + 0.5
+        py = np.arange(min_y, max_y, dtype=np.float64)[:, None] + 0.5
 
-        def edge(ax, ay, bx, by):
-            return (bx - ax) * (py - ay) - (by - ay) * (px - ax)
-
-        w0 = edge(x1, y1, x2, y2)
-        w1 = edge(x2, y2, x0, y0)
-        w2 = edge(x0, y0, x1, y1)
+        w0 = (x2 - x1) * (py - y1) - (y2 - y1) * (px - x1)
+        w1 = (x0 - x2) * (py - y2) - (y0 - y2) * (px - x2)
+        w2 = (x1 - x0) * (py - y0) - (y1 - y0) * (px - x0)
         if area < 0:
             inside = (w0 <= 0) & (w1 <= 0) & (w2 <= 0)
         else:

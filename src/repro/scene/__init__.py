@@ -6,6 +6,8 @@ This subpackage models everything the rendering frameworks consume:
 - :mod:`repro.scene.geometry` — meshes and screen-space viewports;
 - :mod:`repro.scene.objects` — render objects (draw calls) with stereo
   views, texture bindings and draw-order dependencies;
+- :mod:`repro.scene.batch` — struct-of-array views (:class:`ObjectBatch`,
+  :class:`TriangleBatch`) feeding the vectorized hot path;
 - :mod:`repro.scene.scene` — frames and multi-frame scenes, including
   expansion of stereo draws for SMP-less pipelines;
 - :mod:`repro.scene.synthetic` — seeded generators producing game-like
@@ -17,6 +19,7 @@ This subpackage models everything the rendering frameworks consume:
 
 from repro.scene.texture import Texture, TexturePool
 from repro.scene.geometry import Mesh, Viewport
+from repro.scene.batch import ObjectBatch, TriangleBatch
 from repro.scene.objects import Eye, RenderObject, StereoDraw
 from repro.scene.scene import Frame, Scene
 from repro.scene.synthetic import SceneProfile, SyntheticSceneGenerator
@@ -35,8 +38,10 @@ __all__ = [
     "Mesh",
     "Viewport",
     "Eye",
+    "ObjectBatch",
     "RenderObject",
     "StereoDraw",
+    "TriangleBatch",
     "Frame",
     "Scene",
     "SceneProfile",

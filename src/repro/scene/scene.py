@@ -10,8 +10,10 @@ trade-off.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterator, List, Sequence, Tuple
 
+from repro.scene.batch import ObjectBatch
 from repro.scene.geometry import Viewport, full_screen
 from repro.scene.objects import Eye, RenderObject, StereoDraw
 from repro.scene.texture import Texture, unique_texture_bytes
@@ -86,6 +88,16 @@ class Frame:
     def multiview_draws(self) -> Tuple[StereoDraw, ...]:
         """The OO_Application trace: one SMP draw per object."""
         return tuple(obj.multiview_draw() for obj in self.objects)
+
+    @cached_property
+    def object_batch(self) -> ObjectBatch:
+        """The struct-of-array view of this frame's objects.
+
+        Built lazily and cached on the (frozen, memoised) frame, so a
+        sweep pays the flattening cost once per scene rather than once
+        per cell.  Index order matches ``objects``.
+        """
+        return ObjectBatch.from_objects(self.objects)
 
     # -- aggregate statistics ---------------------------------------------
 

@@ -56,6 +56,7 @@ from typing import (
     Union,
 )
 
+from repro.profiling import PhaseProfile, capture, phase
 from repro.session.cache import ResultCache, spec_key
 from repro.session.spec import RunSpec
 from repro.stats.metrics import SceneResult
@@ -136,15 +137,51 @@ class SerialExecutor:
         results: List[Optional[SceneResult]] = []
         for spec in specs:
             cached = True
-            result = cache.get(spec) if cache is not None else None
+            result = None
+            if cache is not None:
+                with phase("cache"):
+                    result = cache.get(spec)
             if result is None:
                 cached = False
                 result = _execute_spec(spec)
                 if cache is not None:
-                    cache.put(spec, result)
+                    with phase("cache"):
+                        cache.put(spec, result)
             results.append(result)
             if on_result is not None:
                 on_result(spec, result, cached)
+        return results
+
+
+class ProfilingSerialExecutor(SerialExecutor):
+    """Serial execution capturing one :class:`PhaseProfile` per cell.
+
+    Each cell runs under :func:`repro.profiling.capture`, so the phase
+    timers inside the spec/engine/cache layers record into a fresh
+    profile; :attr:`profiles` is aligned with the grid (one entry per
+    spec, cache hits included — those show only ``cache`` time).
+    Results are byte-identical to :class:`SerialExecutor`'s: timing
+    never changes what executes.
+    """
+
+    name = "profile"
+
+    def __init__(self) -> None:
+        self.profiles: List[PhaseProfile] = []
+
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        cache: Optional[ResultCache] = None,
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[Optional[SceneResult]]:
+        results: List[Optional[SceneResult]] = []
+        for spec in specs:
+            profile = PhaseProfile()
+            with capture(profile):
+                cell = super().run([spec], cache=cache, on_result=on_result)
+            self.profiles.append(profile)
+            results.extend(cell)
         return results
 
 
@@ -498,6 +535,18 @@ def _build_process(
     return ProcessExecutor(jobs)
 
 
+def _build_profile(
+    jobs: int, shard: Optional[Tuple[int, int]]
+) -> SweepExecutor:
+    _reject_shard("profile", shard)
+    if jobs > 1:
+        raise ExecutorError(
+            "the profile executor is serial; wall-clock phase timings "
+            "from parallel workers would not be comparable"
+        )
+    return ProfilingSerialExecutor()
+
+
 def _build_shard(
     jobs: int, shard: Optional[Tuple[int, int]]
 ) -> SweepExecutor:
@@ -525,6 +574,7 @@ def _build_remote(
 
 register_executor("serial", _build_serial)
 register_executor("process", _build_process)
+register_executor("profile", _build_profile)
 register_executor("shard", _build_shard)
 register_executor("remote", _build_remote)
 

@@ -18,6 +18,7 @@ import json
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.memory.link import TrafficType
+from repro.profiling import PhaseProfile
 from repro.session.spec import RECORD_FIELDS, RunSpec
 from repro.stats.metrics import SceneResult, geomean
 
@@ -25,10 +26,28 @@ GroupKey = Union[str, Tuple[str, ...]]
 
 
 class ResultSet:
-    """Ordered (spec, result) pairs from one sweep."""
+    """Ordered (spec, result) pairs from one sweep.
 
-    def __init__(self, runs: Sequence[Tuple[RunSpec, SceneResult]]) -> None:
+    ``profiles`` (from ``Sweep.run(profile=True)``) attaches one
+    :class:`~repro.profiling.PhaseProfile` per run, aligned by index;
+    derived sets (``select``, ``merge``) drop them — phase timings
+    describe one particular execution, not the cell's identity.
+    """
+
+    def __init__(
+        self,
+        runs: Sequence[Tuple[RunSpec, SceneResult]],
+        profiles: Optional[Sequence[PhaseProfile]] = None,
+    ) -> None:
         self._runs: List[Tuple[RunSpec, SceneResult]] = list(runs)
+        if profiles is not None and len(profiles) != len(self._runs):
+            raise ValueError(
+                f"got {len(profiles)} profiles for {len(self._runs)} runs"
+            )
+        #: Per-run phase profiles, or ``None`` when not profiled.
+        self.profiles: Optional[List[PhaseProfile]] = (
+            list(profiles) if profiles is not None else None
+        )
 
     # -- container protocol -------------------------------------------------
 
@@ -146,13 +165,15 @@ class ResultSet:
         ``engine`` column is added as soon as *any* run in the set was
         priced by a non-default engine, so mixed-engine sweeps keep
         their provenance while default sweeps export byte-identically
-        to the pre-engine layout.
+        to the pre-engine layout.  Likewise ``profile_<phase>_s``
+        wall-time columns appear only on profiled sets, so unprofiled
+        exports never change shape.
         """
         include_engine = any(
             spec.effective_engine != "analytic" for spec, _ in self._runs
         )
         records: List[Dict[str, object]] = []
-        for spec, result in self._runs:
+        for index, (spec, result) in enumerate(self._runs):
             summary = result.to_dict(include_frames=False)
             traffic = summary.pop("traffic")
             record = spec.record_fields()
@@ -165,6 +186,9 @@ class ResultSet:
                 record[f"traffic_{traffic_type.value}"] = traffic.get(
                     traffic_type.value, 0.0
                 )
+            if self.profiles is not None:
+                for name, seconds in self.profiles[index].to_dict().items():
+                    record[f"profile_{name}_s"] = seconds
             records.append(record)
         return records
 

@@ -31,9 +31,11 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.config import SystemConfig
+from repro.profiling import PhaseProfile, capture, phase
 from repro.scene.scene import Scene
 from repro.session.cache import ResultCache
 from repro.session.executor import (
+    ProfilingSerialExecutor,
     ResultCallback,
     SweepExecutor,
     make_executor,
@@ -131,6 +133,9 @@ class Session(_ScaleMixin):
         #: The framework instance of the last ``run()`` (for engine
         #: introspection, e.g. dispatch timelines).
         self.last_framework = None
+        #: The :class:`~repro.profiling.PhaseProfile` of the last
+        #: ``run(profile=True)``; ``None`` after unprofiled runs.
+        self.last_profile: Optional[PhaseProfile] = None
 
     def framework(self, name: str) -> "Session":
         self._framework = name
@@ -184,18 +189,29 @@ class Session(_ScaleMixin):
         ).validate()
         return probe.scene()
 
-    def run(self) -> SceneResult:
+    def run(self, profile: bool = False) -> SceneResult:
         """Execute the run and return its :class:`SceneResult`.
 
         Unlike :meth:`RunSpec.execute <repro.session.spec.RunSpec.execute>`
         (which worker processes call), the framework instance is kept on
         :attr:`last_framework` for introspection — dispatch records,
-        ``last_system.last_trace``.
+        ``last_system.last_trace``.  With ``profile=True`` the run is
+        additionally timed phase by phase (scene build, binding,
+        pricing, execution) into :attr:`last_profile`; the numerical
+        result is unchanged.
         """
         spec = self.spec()
         framework = spec.build()
         self.last_framework = framework
-        return framework.render_scene(spec.scene())
+        self.last_profile = None
+        if not profile:
+            return framework.render_scene(spec.scene())
+        self.last_profile = PhaseProfile()
+        with capture(self.last_profile):
+            with phase("scene"):
+                scene = spec.scene()
+            with phase("execute"):
+                return framework.render_scene(scene)
 
 
 class Sweep(_ScaleMixin):
@@ -276,6 +292,7 @@ class Sweep(_ScaleMixin):
         executor: Optional[Union[str, SweepExecutor]] = None,
         on_result: Optional[ResultCallback] = None,
         shard: Optional[Union[str, Tuple[int, int]]] = None,
+        profile: bool = False,
     ) -> ResultSet:
         """Execute the grid into a :class:`ResultSet`.
 
@@ -309,23 +326,42 @@ class Sweep(_ScaleMixin):
         ``on_result(spec, result, cached)`` fires once per completed
         cell, in grid order (``oovr sweep --progress`` prints one line
         per call).
+
+        ``profile=True`` times every cell phase by phase (scene build,
+        binding, pricing, execution, cache I/O) and attaches one
+        :class:`~repro.profiling.PhaseProfile` per run to the returned
+        set (:attr:`ResultSet.profiles
+        <repro.session.result.ResultSet.profiles>`, plus
+        ``profile_*_s`` record columns).  Profiling forces the serial
+        backend — wall-clock timings from parallel workers would not
+        be comparable — so it cannot be combined with ``jobs``,
+        ``executor`` or ``shard``.
         """
         if jobs < 1:
             raise SessionError("jobs must be at least 1")
         specs = self.specs()
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
-        backend = make_executor(executor, jobs=jobs, shard=shard)
+        if profile:
+            if jobs != 1 or shard is not None or (
+                executor is not None and executor not in ("serial", "profile")
+            ):
+                raise SessionError(
+                    "profile=True runs serially; drop jobs/executor/shard"
+                )
+            backend: SweepExecutor = ProfilingSerialExecutor()
+        else:
+            backend = make_executor(executor, jobs=jobs, shard=shard)
         results = backend.run(specs, cache=cache, on_result=on_result)
         if len(results) != len(specs):
             raise SessionError(
                 f"executor {getattr(backend, 'name', backend)!r} returned "
                 f"{len(results)} results for {len(specs)} specs"
             )
-        return ResultSet(
-            [
-                (spec, result)
-                for spec, result in zip(specs, results)
-                if result is not None
-            ]
-        )
+        kept = [
+            (spec, result)
+            for spec, result in zip(specs, results)
+            if result is not None
+        ]
+        profiles = backend.profiles if profile else None
+        return ResultSet(kept, profiles=profiles)

@@ -18,6 +18,7 @@ from functools import lru_cache
 from typing import Optional, Sequence
 
 from repro.config import SystemConfig
+from repro.profiling import phase
 from repro.scene.benchmarks import (
     WORKLOADS,
     make_benchmark_scene,
@@ -212,7 +213,11 @@ class RunSpec:
 
     def execute(self) -> SceneResult:
         """Render this cell: fresh framework, memoised scene."""
-        return self.build().render_scene(self.scene())
+        framework = self.build()
+        with phase("scene"):
+            scene = self.scene()
+        with phase("execute"):
+            return framework.render_scene(scene)
 
     def record_fields(self) -> dict:
         """The spec's identity columns of a tidy result record."""

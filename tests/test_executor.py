@@ -90,7 +90,9 @@ class TestShardPartition:
 
 class TestExecutorSelection:
     def test_builtin_names_registered(self):
-        assert EXECUTOR_NAMES == ("serial", "process", "shard", "remote")
+        assert EXECUTOR_NAMES == (
+            "serial", "process", "profile", "shard", "remote"
+        )
 
     def test_inferred_backends(self):
         assert isinstance(make_executor(jobs=1), SerialExecutor)
@@ -116,7 +118,7 @@ class TestExecutorSelection:
         the same grammar the ``--engine`` error uses."""
         expected = (
             "unknown executor 'gpu'; "
-            "have ['process', 'remote', 'serial', 'shard']"
+            "have ['process', 'profile', 'remote', 'serial', 'shard']"
         )
         with pytest.raises(ExecutorError) as excinfo:
             make_executor("gpu")
