@@ -70,25 +70,40 @@ def _best_seconds(fn, repeats=3):
 def test_cell_throughput():
     """Event-vs-analytic cells/sec, plus the batched-kernel trajectory.
 
-    Two matrices, both emitted as
+    Three matrices, all emitted as
     ``benchmarks/output/BENCH_cell_throughput.json``:
 
     - ``engines`` — whole-cell rates (``RunSpec.execute()`` of the
       oo-vr HL2-1280 FULL cell) under the analytic and event engines,
-      each with its speedup over the pre-SoA seed pinned in
-      ``benchmarks/golden/cell_throughput_baseline.json``;
+      each with its speedup over the PR 7 seed pinned in
+      ``benchmarks/golden/cell_throughput_baseline.json``.  The event
+      entry carries the window-loop trajectory: a same-host A/B of the
+      incremental loop against the retained scalar reference loop, and
+      the loop's own counters (windows per frame, mean live rows per
+      window, per-window wall cost) captured via the profiling layer;
     - ``hot_path_kernels`` — the per-cell hot-path kernels measured
       batched *and* through the retained scalar reference on the same
       machine, so the speedup column is an honest same-host A/B rather
-      than a cross-machine ratio.  The raster front end (a
-      fully-scissored 5120-triangle draw, where batching rejects every
-      face without entering Python) is the headline: it must clear 10x
-      over the per-triangle reference walk.
+      than a cross-machine ratio.  Kernels are measured with the reuse
+      cache *disabled* — a memo hit would time dictionary lookups, not
+      the kernels.  The raster front end (a fully-scissored
+      5120-triangle draw, where batching rejects every face without
+      entering Python) is the headline: it must clear 10x over the
+      per-triangle reference walk;
+    - ``shared_workload_sweep`` — a 4-cell serial sweep whose cells all
+      share one workload, run with the reuse cache on and off.  The
+      CSVs are asserted byte-identical before either side is timed,
+      then the reuse side must clear 1.5x — both sides same-host, so
+      the ratio is machine-independent.
 
     The batched paths are asserted equal to their references before
     being timed — a fast wrong kernel must fail here, not ship a
     flattering number.
     """
+    from repro import profiling
+    from repro.engine.event import EventEngine
+    from repro.reuse import reuse_scope
+
     baseline = json.loads(GOLDEN_BASELINE.read_text())["kernels"]
 
     # -- whole cells: analytic vs event engine --------------------------
@@ -106,6 +121,37 @@ def test_cell_throughput():
             "speedup_vs_baseline": round(
                 rate / baseline[f"cell_per_sec_{engine}"], 3
             ),
+        }
+        if engine != "event":
+            continue
+        # Same-host A/B: the incremental window loop against the
+        # retained scalar reference loop (both under the same reuse
+        # state, so the ratio isolates the loop itself).
+        EventEngine.use_reference_loop = True
+        try:
+            reference_s = _best_seconds(spec.execute, repeats=2)
+        finally:
+            EventEngine.use_reference_loop = False
+        engines[engine]["reference_loop_seconds"] = round(reference_s, 4)
+        engines[engine]["incremental_loop_speedup"] = round(
+            reference_s / seconds, 2
+        )
+        # Window-loop counters, straight from the engine's profiling
+        # instrumentation (the same numbers `oovr run --profile
+        # --engine event` prints).
+        profile = profiling.PhaseProfile()
+        with profiling.capture(profile):
+            spec.execute()
+        windows = profile.counters["event_windows"]
+        loop_s = profile.counters["event_loop_s"]
+        engines[engine]["window_loop"] = {
+            "windows": int(windows),
+            "windows_per_frame": round(windows / spec.num_frames, 1),
+            "mean_live_rows_per_window": round(
+                profile.counters["event_live_rows"] / windows, 2
+            ),
+            "loop_wall_s": round(loop_s, 4),
+            "mean_window_cost_us": round(loop_s / windows * 1e6, 2),
         }
 
     kernels = {}
@@ -127,19 +173,22 @@ def test_cell_throughput():
     }
 
     # -- frame characterisation: SoA pass vs per-draw scalar loop -------
+    # Reuse is scoped off: a memo hit would time a dictionary lookup,
+    # not the Eq. 3 pricing pass under test.
     fw = build_framework("baseline")
     draws = frame.multiview_draws()
-    batched_units = fw.characterizer.characterize_frame(frame)
-    scalar_units = tuple(
-        fw.characterizer.characterize(draw) for draw in draws
-    )
-    assert batched_units == scalar_units
-    batched_s = _best_seconds(
-        lambda: fw.characterizer.characterize_frame(frame)
-    )
-    scalar_s = _best_seconds(
-        lambda: [fw.characterizer.characterize(d) for d in draws]
-    )
+    with reuse_scope(False):
+        batched_units = fw.characterizer.characterize_frame(frame)
+        scalar_units = tuple(
+            fw.characterizer.characterize(draw) for draw in draws
+        )
+        assert batched_units == scalar_units
+        batched_s = _best_seconds(
+            lambda: fw.characterizer.characterize_frame(frame)
+        )
+        scalar_s = _best_seconds(
+            lambda: [fw.characterizer.characterize(d) for d in draws]
+        )
     kernels["characterize"] = {
         "batched_draws_per_sec": round(len(draws) / batched_s, 1),
         "reference_draws_per_sec": round(len(draws) / scalar_s, 1),
@@ -192,12 +241,47 @@ def test_cell_throughput():
     # a same-machine batched-vs-reference A/B.
     assert kernels["raster_front_end"]["speedup_vs_reference"] >= 10.0
 
+    # -- shared-workload sweep: reuse cache on vs off -------------------
+    # Four cells over one workload — the ablation-grid shape the reuse
+    # layer exists for (cells differ only in framework/variant, so
+    # scene batches and frame characterisation are shared).  Equality
+    # is asserted before either side is timed, and both sides run on
+    # this host, so the 1.5x floor is a machine-independent A/B.
+    # (Frameworks whose cost is per-unit NUMA binding — baseline's
+    # 7.7k single-object units above all — reuse little by design;
+    # this grid measures the characterisation-bound family.)
+    def shared_grid():
+        return (
+            Sweep()
+            .full()
+            .frameworks("oo-app", "oo-vr", "oo-vr:no-dhc", "afr")
+            .workloads("HL2-1280")
+        )
+
+    csv_with_reuse = shared_grid().run().to_csv()
+    csv_without = shared_grid().run(reuse=False).to_csv()
+    assert csv_with_reuse == csv_without
+    reuse_s = _best_seconds(lambda: shared_grid().run(), repeats=2)
+    no_reuse_s = _best_seconds(
+        lambda: shared_grid().run(reuse=False), repeats=2
+    )
+    shared_sweep = {
+        "grid": "oo-app/oo-vr/oo-vr:no-dhc/afr x HL2-1280, FULL preset, serial",
+        "cells": 4,
+        "byte_identical": True,
+        "reuse_seconds": round(reuse_s, 4),
+        "no_reuse_seconds": round(no_reuse_s, 4),
+        "reuse_speedup": round(no_reuse_s / reuse_s, 2),
+    }
+    assert shared_sweep["reuse_speedup"] >= 1.5
+
     document = {
         "bench": "cell_throughput",
         "cell": "oo-vr HL2-1280 FULL preset RunSpec.execute()",
         "baseline": GOLDEN_BASELINE.name,
         "engines": engines,
         "hot_path_kernels": kernels,
+        "shared_workload_sweep": shared_sweep,
     }
     OUTPUT_DIR.mkdir(exist_ok=True)
     path = OUTPUT_DIR / "BENCH_cell_throughput.json"

@@ -123,7 +123,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if args.engine is not None:
         session.engine(args.engine)
-    result = session.run(profile=args.profile)
+    result = session.run(profile=args.profile, reuse=not args.no_reuse)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
         if session.last_profile is not None:
@@ -225,6 +225,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         shard=args.shard,
         on_result=_on_result(args),
         profile=args.profile,
+        reuse=not args.no_reuse,
     )
 
     from repro.stats.reporting import format_table
@@ -627,7 +628,14 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--profile", action="store_true",
         help="time the run phase by phase (scene build, bind, price, "
-        "execute) and print the wall-time breakdown",
+        "execute) and print the wall-time breakdown (with the event "
+        "engine: plus window-loop counters)",
+    )
+    run.add_argument(
+        "--no-reuse", action="store_true",
+        help="disable the per-process reuse cache (memoised scene "
+        "batches and frame characterisation); results are byte-"
+        "identical either way",
     )
     run.set_defaults(func=_cmd_run)
 
@@ -690,6 +698,12 @@ def make_parser() -> argparse.ArgumentParser:
         help="time every cell phase by phase (scene build, bind, price, "
         "execute, cache I/O), print per-cell breakdowns and export "
         "profile_*_s record columns (serial execution only)",
+    )
+    sweep.add_argument(
+        "--no-reuse", action="store_true",
+        help="disable the per-process reuse cache (memoised scene "
+        "batches and frame characterisation shared by cells with the "
+        "same workload); records are byte-identical either way",
     )
     sweep.set_defaults(func=_cmd_sweep)
 

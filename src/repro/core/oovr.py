@@ -30,6 +30,7 @@ from repro.gpu.system import MultiGPUSystem
 from repro.memory.placement import PlacementPolicy
 from repro.pipeline.smp import SMPMode
 from repro.pipeline.workunit import WorkUnit, merge_units
+from repro.reuse import get_cache
 from repro.scene.scene import Frame
 from repro.stats.metrics import FrameResult
 
@@ -42,6 +43,29 @@ class _BatchBuilder:
         self._middleware = OOMiddleware()
 
     def build(self, frame: Frame) -> List[Tuple[Batch, WorkUnit]]:
+        """``frame`` -> ``[(batch, merged unit), ...]`` in draw order.
+
+        The pairs depend only on the frame's objects, the middleware's
+        grouping knobs and the (frozen) cost model, so the built list
+        is memoised per process anchored on the frame object — cells
+        sharing a workload skip Fig. 12 grouping and the batch merges.
+        Batches and units are frozen; a fresh list is returned per call
+        so no consumer can alias another cell's container.
+        """
+        return list(
+            get_cache().memoize(
+                "batch_builder",
+                frame,
+                (
+                    self._framework.config.cost,
+                    self._middleware.triangle_limit,
+                    self._middleware.tsl_threshold,
+                ),
+                lambda: tuple(self._build(frame)),
+            )
+        )
+
+    def _build(self, frame: Frame) -> List[Tuple[Batch, WorkUnit]]:
         characterizer = self._framework.characterizer
         discount = self._framework.config.cost.batch_draw_discount
         batches = self._middleware.build_batches(frame.objects)

@@ -61,9 +61,10 @@ steals, the quantity the engine-contention study measures.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -75,6 +76,7 @@ from repro.engine.base import (
     StageCopy,
 )
 from repro.engine.trace import FrameTrace, LinkUsage, TraceInterval
+from repro.profiling import add_counter
 
 __all__ = ["EventEngine"]
 
@@ -82,6 +84,15 @@ __all__ = ["EventEngine"]
 _EPS = 1e-6
 #: Relative epsilon for time comparisons.
 _REL = 1e-12
+#: Consecutive zero-length windows tolerated before the degenerate-
+#: schedule diagnostic fires.  A zero-length window means active jobs
+#: exist but *nothing* can progress (every live demand drains at rate
+#: zero — e.g. an infinite wire latency or a zero-rate flow), so the
+#: loop would otherwise spin silently; no reachable schedule from the
+#: public recording API produces even one.
+_MAX_ZERO_WINDOWS = 8
+
+_EMPTY_IDX = np.empty(0, dtype=np.int64)
 
 Link = Tuple[int, int]
 
@@ -234,6 +245,11 @@ class _SimResult:
     intervals: List[TraceInterval]
     link_busy: Dict[Link, float]
     link_bytes: Dict[Link, float]
+    #: Window-loop statistics: windows simulated and the total live
+    #: rows (compute + DRAM + latency + streaming) those windows
+    #: touched.  Diagnostics only — never part of the timing result.
+    windows: int = 0
+    live_rows: int = 0
 
     @property
     def makespan(self) -> float:
@@ -247,6 +263,13 @@ class EventEngine(ExecutionEngine):
     """Discrete-event timing over the analytic engine's schedule."""
 
     name = "event"
+
+    #: Route :meth:`finish_frame` through the retained full-scan window
+    #: loop (:meth:`_simulate_reference`) instead of the incremental
+    #: one.  The two loops are bit-equal by contract (property-tested
+    #: in ``tests/test_engine.py``); the throughput bench flips this
+    #: class attribute for an honest same-host A/B.
+    use_reference_loop = False
 
     def __init__(self, system) -> None:
         super().__init__(system)
@@ -446,9 +469,395 @@ class EventEngine(ExecutionEngine):
 
     # -- simulation ----------------------------------------------------------
 
+    @staticmethod
+    def _stall_error(
+        active: Dict[int, _RunState], bg_active: Sequence[_RunState]
+    ) -> RuntimeError:
+        """The diagnostic for a window loop that cannot progress."""
+        labels = sorted(
+            {state.job.label for state in (*active.values(), *bg_active)}
+        )
+        return RuntimeError(
+            "event window loop stalled: active job(s) made no progress "
+            f"for {_MAX_ZERO_WINDOWS} consecutive zero-length windows "
+            "(some demand remains but every live row drains at rate "
+            f"zero); stalled jobs: {labels}"
+        )
+
     def _simulate(
         self, jobs: Sequence[_Job], background: Sequence[_Job] = ()
     ) -> _SimResult:
+        """The incremental window loop (the production path).
+
+        Behaviourally bit-equal to :meth:`_simulate_reference`, but each
+        window touches O(live) rows instead of O(total): compact live
+        sets for compute/DRAM/latency/streaming rows are maintained on
+        job start, component drain and retirement (never rebuilt from
+        full-array ``nonzero`` scans), per-link streaming user counts
+        are updated by +/-1 over a flow's precomputed route slice when
+        it enters or leaves the streaming state, and jobs retire
+        through the same crossing-decremented pending counters.
+
+        Profiling showed the retained loop's cost is *numpy calls per
+        window*, not array size — real frames average a handful of
+        live rows across thousands of windows — so the window body
+        here is scalar Python over the live sets, with zero per-window
+        array allocations.  That is still a pure layout change: every
+        share/horizon/depletion expression evaluates the identical
+        IEEE-754 double operations on the identical values (``tolist``
+        round-trips float64 exactly, Python float arithmetic *is*
+        C-double arithmetic, and ``min``/user-count/elementwise ops
+        are order-independent), so completion times — and the event
+        goldens pinned on them — are bit-equal to the reference walk.
+        """
+        system = self.system
+        n = system.num_gpms
+        dram_bw = system.config.gpm.dram_bytes_per_cycle
+        link_bw = system.config.link.bytes_per_cycle
+
+        all_jobs: List[_Job] = [*jobs, *background]
+        arrays = _JobArrays(all_jobs)
+        index_of = {id(job): idx for idx, job in enumerate(all_jobs)}
+        # Scalar views of the SoA rows: exact float64 -> double copies.
+        compute_rem = arrays.compute.tolist()
+        dram_job = arrays.dram_job.tolist()
+        dram_gpm = arrays.dram_gpm.tolist()
+        dram_rem = arrays.dram_rem.tolist()
+        flow_job = arrays.flow_job.tolist()
+        flow_lat = arrays.flow_lat.tolist()
+        flow_bytes = arrays.flow_bytes.tolist()
+        flow_scale = arrays.flow_scale.tolist()
+        route_len = arrays.route_len.tolist()
+        offsets = arrays.route_offsets.tolist()
+        links_flat = arrays.route_links.tolist()
+        #: Per-flow contended-link id lists, precomputed once per pass.
+        routes = [
+            links_flat[offsets[row] : offsets[row + 1]]
+            for row in range(len(flow_job))
+        ]
+        job_d0 = arrays.job_d0.tolist()
+        job_f0 = arrays.job_f0.tolist()
+        zero_demand = arrays.zero_demand.tolist()
+        num_links = len(arrays.links)
+        pending = arrays.pending0.tolist()
+        link_busy_acc = [0.0] * num_links
+        #: Streaming flows currently crossing each link — maintained
+        #: incrementally (+/-1 per route element on stream enter/leave),
+        #: it equals the reference loop's per-window route bincount.
+        link_users = [0] * num_links
+
+        # Live row sets: the only state the window body walks.
+        c_live: Set[int] = set()
+        d_live: Set[int] = set()
+        lat_live: Set[int] = set()
+        b_live: Set[int] = set()
+
+        def enter_stream(row: int) -> None:
+            b_live.add(row)
+            for lid in routes[row]:
+                link_users[lid] += 1
+
+        def leave_stream(row: int) -> None:
+            b_live.discard(row)
+            for lid in routes[row]:
+                link_users[lid] -= 1
+
+        def enter_rows(idx: int) -> None:
+            """Register a newly-activated job's live demand rows."""
+            if compute_rem[idx] > _EPS:
+                c_live.add(idx)
+            d0, d1 = job_d0[idx], job_d0[idx + 1]
+            if d1 > d0:
+                # DRAM rows are built above the dust threshold.
+                d_live.update(range(d0, d1))
+            for row in range(job_f0[idx], job_f0[idx + 1]):
+                if flow_lat[row] > _EPS:
+                    lat_live.add(row)
+                elif flow_bytes[row] > _EPS:
+                    enter_stream(row)
+
+        def clear_rows(idx: int) -> None:
+            """Drop a retiring job's rows from the live sets.
+
+            Retirement requires every pending component to have crossed
+            the dust threshold, so these are no-ops on any normal path;
+            kept as cheap O(job rows) insurance so a leaked live row
+            can never outlive its job.
+            """
+            c_live.discard(idx)
+            for row in range(job_d0[idx], job_d0[idx + 1]):
+                d_live.discard(row)
+            for row in range(job_f0[idx], job_f0[idx + 1]):
+                lat_live.discard(row)
+                if row in b_live:
+                    leave_stream(row)
+
+        queues: List[deque] = [deque() for _ in range(n)]
+        for job in jobs:
+            queues[job.gpm].append(job)
+        bg_pending: List[_Job] = sorted(
+            background, key=lambda job: job.start_floor
+        )
+        bg_active: List[_RunState] = []
+
+        active: Dict[int, _RunState] = {}
+        t = 0.0
+        busy = [0.0] * n
+        end = [0.0] * n
+        intervals: List[TraceInterval] = []
+        link_bytes: Dict[Link, float] = {}
+
+        def account_bytes(job: _Job) -> None:
+            for spec in job.flows:
+                for link in spec.route:
+                    link_bytes[link] = link_bytes.get(link, 0.0) + spec.nbytes
+
+        total_components = sum(
+            1 + len(job.dram) + len(job.flows)
+            for job in (*jobs, *background)
+        )
+        max_steps = 1000 + 16 * (
+            total_components + len(jobs) + len(background)
+        )
+        steps = 0
+        zero_windows = 0
+        windows = 0
+        live_rows = 0
+
+        while active or any(queues) or bg_active or bg_pending:
+            steps += 1
+            if steps > max_steps:
+                raise EngineError(
+                    "event simulation failed to converge "
+                    f"({len(jobs)} jobs, {steps} steps)"
+                )
+
+            # Start any idle GPM's head job whose floor has passed;
+            # zero-demand units complete instantly and hand the GPM to
+            # the next queued job within the same window.
+            next_start = float("inf")
+            for gpm in range(n):
+                while gpm not in active and queues[gpm]:
+                    floor = queues[gpm][0].start_floor
+                    if floor > t * (1 + _REL) + _EPS:
+                        next_start = min(next_start, floor)
+                        break
+                    job = queues[gpm].popleft()
+                    idx = index_of[id(job)]
+                    start = max(t, floor)
+                    if zero_demand[idx]:  # instantaneous
+                        intervals.append(
+                            TraceInterval(
+                                gpm=gpm, label=job.label,
+                                start=start, end=start,
+                                kind=job.kind,
+                            )
+                        )
+                        end[gpm] = max(end[gpm], start)
+                        account_bytes(job)
+                        continue
+                    active[gpm] = _RunState(job, idx, start)
+                    enter_rows(idx)
+            # Background copies activate on their floor regardless of
+            # what their GPM is doing — the copy engines, not the SMs,
+            # move the bytes.
+            while bg_pending:
+                floor = bg_pending[0].start_floor
+                if floor > t * (1 + _REL) + _EPS:
+                    next_start = min(next_start, floor)
+                    break
+                job = bg_pending.pop(0)
+                idx = index_of[id(job)]
+                start = max(t, floor)
+                if zero_demand[idx]:
+                    intervals.append(
+                        TraceInterval(
+                            gpm=job.gpm, label=job.label,
+                            start=start, end=start,
+                            kind=job.kind,
+                        )
+                    )
+                    account_bytes(job)
+                    continue
+                bg_active.append(_RunState(job, idx, start))
+                enter_rows(idx)
+
+            if not active and not bg_active:
+                if next_start == float("inf"):
+                    break
+                t = next_start
+                continue
+
+            windows += 1
+            live_rows += (
+                len(c_live) + len(d_live) + len(lat_live) + len(b_live)
+            )
+
+            # Concurrent users per shared resource in this window —
+            # the same share expressions as the reference loop, over
+            # the same live value sets (the per-row ``(row, share)``
+            # pairs are kept so the depletion pass below subtracts
+            # the exact same share each horizon was computed from).
+            d_shares = []
+            if d_live:
+                users = [0] * n
+                for row in d_live:
+                    users[dram_gpm[row]] += 1
+                for row in d_live:
+                    d_shares.append((row, dram_bw / users[dram_gpm[row]]))
+            b_rates = []
+            for row in b_live:
+                # Bandwidth share on the most contended link of the
+                # route, serialised over the hop count (links with no
+                # active flow are floored to one user; a streaming
+                # flow's route is never empty).
+                hop = min(
+                    link_bw / u if (u := link_users[lid]) > 1 else link_bw
+                    for lid in routes[row]
+                )
+                b_rates.append(
+                    (row, (hop * flow_scale[row]) / route_len[row])
+                )
+
+            # Time to the next completion or rate change.
+            dt = next_start - t if next_start != float("inf") else float("inf")
+            if c_live:
+                dt = min(dt, min(compute_rem[idx] for idx in c_live))
+            if d_shares:
+                dt = min(
+                    dt, min(dram_rem[row] / share for row, share in d_shares)
+                )
+            if lat_live:
+                dt = min(dt, min(flow_lat[row] for row in lat_live))
+            if b_rates:
+                dt = min(
+                    dt, min(flow_bytes[row] / rate for row, rate in b_rates)
+                )
+
+            if dt == float("inf"):
+                # Active demand that drains at rate zero: tolerate a
+                # bounded streak, then raise the diagnostic instead of
+                # spinning (or silently force-retiring) forever.
+                zero_windows += 1
+                if zero_windows >= _MAX_ZERO_WINDOWS:
+                    raise self._stall_error(active, bg_active)
+                dt = 0.0
+            else:
+                zero_windows = 0
+            dt = max(dt, 0.0)
+
+            # Advance the window: deplete demands, accumulate occupancy
+            # and retire the per-job open-component counts as rows
+            # cross the dust threshold (crossings also update the live
+            # sets, so the next window never rescans retired rows).
+            if dt > 0.0:
+                t += dt
+                for gpm in active:
+                    busy[gpm] += dt
+                for lid in range(num_links):
+                    if link_users[lid] > 0:
+                        link_busy_acc[lid] += dt
+                if c_live:
+                    done = []
+                    for idx in c_live:
+                        remaining = compute_rem[idx] - dt
+                        compute_rem[idx] = remaining
+                        if remaining <= _EPS:
+                            done.append(idx)
+                    c_live.difference_update(done)
+                for row, share in d_shares:
+                    remaining = dram_rem[row] - dt * share
+                    dram_rem[row] = remaining
+                    if remaining <= _EPS:
+                        pending[dram_job[row]] -= 1
+                        d_live.discard(row)
+                if lat_live:
+                    expired = []
+                    for row in lat_live:
+                        remaining = flow_lat[row] - dt
+                        flow_lat[row] = remaining
+                        if remaining <= _EPS:
+                            expired.append(row)
+                    if expired:
+                        lat_live.difference_update(expired)
+                        # A flow with nothing left to stream is done
+                        # the moment its wire latency drains; the rest
+                        # enter the streaming state and start loading
+                        # their route's links next window.
+                        for row in expired:
+                            if flow_bytes[row] > _EPS:
+                                enter_stream(row)
+                            else:
+                                pending[flow_job[row]] -= 1
+                for row, rate in b_rates:
+                    remaining = flow_bytes[row] - dt * rate
+                    flow_bytes[row] = remaining
+                    if remaining <= _EPS:
+                        pending[flow_job[row]] -= 1
+                        leave_stream(row)
+
+            # Retire completed jobs: compute drained and no DRAM or
+            # flow component still above the dust threshold.
+            for gpm in list(active):
+                state = active[gpm]
+                if not (
+                    compute_rem[state.idx] <= _EPS
+                    and pending[state.idx] == 0
+                ):
+                    continue
+                intervals.append(
+                    TraceInterval(
+                        gpm=gpm, label=state.job.label,
+                        start=state.start, end=t, kind=state.job.kind,
+                    )
+                )
+                end[gpm] = max(end[gpm], t)
+                account_bytes(state.job)
+                del active[gpm]
+                clear_rows(state.idx)
+            for state in list(bg_active):
+                if not (
+                    compute_rem[state.idx] <= _EPS
+                    and pending[state.idx] == 0
+                ):
+                    continue
+                intervals.append(
+                    TraceInterval(
+                        gpm=state.job.gpm, label=state.job.label,
+                        start=state.start, end=t, kind=state.job.kind,
+                    )
+                )
+                account_bytes(state.job)
+                bg_active.remove(state)
+                clear_rows(state.idx)
+
+        link_busy: Dict[Link, float] = {
+            arrays.links[i]: link_busy_acc[i]
+            for i in range(num_links)
+            if link_busy_acc[i] > 0.0
+        }
+        return _SimResult(
+            busy=busy,
+            end=end,
+            intervals=intervals,
+            link_busy=link_busy,
+            link_bytes=link_bytes,
+            windows=windows,
+            live_rows=live_rows,
+        )
+
+    def _simulate_reference(
+        self, jobs: Sequence[_Job], background: Sequence[_Job] = ()
+    ) -> _SimResult:
+        """The retained full-scan window loop (the oracle).
+
+        Every window re-derives the live-row sets with ``nonzero``/
+        ``bincount`` scans over *all* rows — O(total) per window.  Kept
+        as the bit-exactness oracle for :meth:`_simulate` (the property
+        tests replay random flow soups through both) and as the
+        baseline side of the throughput bench's same-host loop A/B via
+        :attr:`use_reference_loop`.
+        """
         system = self.system
         n = system.num_gpms
         dram_bw = system.config.gpm.dram_bytes_per_cycle
@@ -503,6 +912,9 @@ class EventEngine(ExecutionEngine):
             total_components + len(jobs) + len(background)
         )
         steps = 0
+        zero_windows = 0
+        windows = 0
+        live_rows = 0
 
         while active or any(queues) or bg_active or bg_pending:
             steps += 1
@@ -618,8 +1030,23 @@ class EventEngine(ExecutionEngine):
                 if b_idx.size:
                     dt = min(dt, float((b_bytes / b_rate).min()))
 
+            windows += 1
+            live_rows += c_idx.size
+            if have_dram:
+                live_rows += d_idx.size
+            if have_flows:
+                live_rows += lat_idx.size + b_idx.size
+
             if dt == float("inf"):
+                # Same bounded-streak diagnostic as the incremental
+                # loop (both loops share retire semantics, so the
+                # property tests compare like with like).
+                zero_windows += 1
+                if zero_windows >= _MAX_ZERO_WINDOWS:
+                    raise self._stall_error(active, bg_active)
                 dt = 0.0
+            else:
+                zero_windows = 0
             dt = max(dt, 0.0)
 
             # Advance the window: deplete demands, accumulate occupancy
@@ -663,7 +1090,7 @@ class EventEngine(ExecutionEngine):
             # flow component still above the dust threshold.
             for gpm in list(active):
                 state = active[gpm]
-                if dt > 0.0 and not (
+                if not (
                     compute_rem[state.idx] <= _EPS
                     and pending[state.idx] == 0
                 ):
@@ -682,7 +1109,7 @@ class EventEngine(ExecutionEngine):
                 d_run[job_d0[idx] : job_d0[idx + 1]] = False
                 f_run[job_f0[idx] : job_f0[idx + 1]] = False
             for state in list(bg_active):
-                if dt > 0.0 and not (
+                if not (
                     compute_rem[state.idx] <= _EPS
                     and pending[state.idx] == 0
                 ):
@@ -710,6 +1137,8 @@ class EventEngine(ExecutionEngine):
             intervals=intervals,
             link_busy=link_busy,
             link_bytes=link_bytes,
+            windows=windows,
+            live_rows=live_rows,
         )
 
     def _composition_jobs(self, floor: float) -> List[_Job]:
@@ -771,7 +1200,16 @@ class EventEngine(ExecutionEngine):
         the barrier is reported as ``composition_cycles`` and its
         ``compose``-lane intervals.
         """
-        render = self._simulate(self._jobs, self._background)
+        simulate = (
+            self._simulate_reference
+            if self.use_reference_loop
+            else self._simulate
+        )
+        loop_start = time.perf_counter()
+        render = simulate(self._jobs, self._background)
+        loop_seconds = time.perf_counter() - loop_start
+        windows = render.windows
+        live_rows = render.live_rows
         render_end = max(render.end) if render.end else 0.0
         intervals = list(render.intervals)
         link_busy = dict(render.link_busy)
@@ -779,13 +1217,22 @@ class EventEngine(ExecutionEngine):
         composition_cycles = 0.0
         compose_jobs = self._composition_jobs(render_end)
         if compose_jobs:
-            compose = self._simulate(compose_jobs)
+            loop_start = time.perf_counter()
+            compose = simulate(compose_jobs)
+            loop_seconds += time.perf_counter() - loop_start
+            windows += compose.windows
+            live_rows += compose.live_rows
             composition_cycles = max(compose.makespan - render_end, 0.0)
             intervals.extend(compose.intervals)
             for link, cycles in compose.link_busy.items():
                 link_busy[link] = link_busy.get(link, 0.0) + cycles
             for link, nbytes in compose.link_bytes.items():
                 link_bytes[link] = link_bytes.get(link, 0.0) + nbytes
+        # Window-loop counters for ``--profile`` runs (no-ops when no
+        # capture is active, so unprofiled goldens pay nothing).
+        add_counter("event_windows", float(windows))
+        add_counter("event_live_rows", float(live_rows))
+        add_counter("event_loop_s", loop_seconds)
 
         links = tuple(
             LinkUsage(

@@ -15,6 +15,17 @@ left-associated, ``min``/``max`` become ``np.minimum``/``np.maximum``,
 and no float reduction is reordered.  int64 → float64 conversions are
 exact for every count in range.  ``tests/test_soa_batches.py`` asserts
 field-for-field equality (touches included) against the scalar path.
+
+Purity contract: :func:`frame_counters` is a pure function of the
+frame's :class:`ObjectBatch` plus hashable config slices (cost model,
+SMP mode, expansion factor), and the :class:`FrameCounters` /
+:class:`~repro.pipeline.workunit.WorkUnit` values it yields are
+frozen.  That is what lets
+:meth:`DrawCharacterizer.characterize_frame
+<repro.pipeline.characterize.DrawCharacterizer.characterize_frame>`
+memoise its result per frame object in the per-process reuse cache
+(:mod:`repro.reuse`) — cells of a sweep that share a workload share
+the characterisation outright, byte-identically.
 """
 
 from __future__ import annotations

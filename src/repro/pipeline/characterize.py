@@ -18,6 +18,7 @@ from repro.pipeline.batch import frame_counters, work_units_from_counters
 from repro.pipeline.fragment import depth_and_color_demand, texture_touches_for_draw
 from repro.pipeline.smp import GeometryWork, SMPEngine, SMPMode
 from repro.pipeline.workunit import WorkUnit
+from repro.reuse import get_cache
 from repro.scene.objects import Eye, StereoDraw
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -106,7 +107,25 @@ class DrawCharacterizer:
         identical (touches included) to :meth:`characterize` on the
         corresponding draw — the SoA layout changes the walk, never the
         numbers.
+
+        The result depends only on the frame's object batch and the
+        (frozen, hashable) cost model, so it is memoised per process in
+        the :mod:`repro.reuse` cache anchored on the frame object:
+        grid cells that share a workload share scene-memoised frames,
+        and therefore skip re-running Eq. 3 pricing entirely.  The
+        returned tuple of frozen work units is immutable, so sharing
+        it across cells is safe.
         """
+        return get_cache().memoize(
+            "characterize_frame",
+            frame,
+            (self.cost, mode, expansion),
+            lambda: self._characterize_frame(frame, mode, expansion),
+        )
+
+    def _characterize_frame(
+        self, frame: "Frame", mode: SMPMode, expansion: str
+    ) -> Tuple[WorkUnit, ...]:
         batch = frame.object_batch
         counters = frame_counters(
             batch, self.cost, mode=mode, expansion=expansion

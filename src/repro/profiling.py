@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 __all__ = [
     "PHASES",
     "PhaseProfile",
+    "add_counter",
     "capture",
     "current_profile",
     "phase",
@@ -43,6 +44,11 @@ class PhaseProfile:
     def __init__(self) -> None:
         self.seconds: Dict[str, float] = {}
         self.calls: Dict[str, int] = {}
+        #: Free-form accumulated quantities (:func:`add_counter`) —
+        #: e.g. the event engine's window-loop statistics.  Unlike
+        #: :attr:`seconds` these are not wall times and never enter
+        #: :attr:`total_seconds`.
+        self.counters: Dict[str, float] = {}
         #: (phase name, entry time, accumulated child elapsed).
         self._stack: List[Tuple[str, float, float]] = []
 
@@ -79,6 +85,8 @@ class PhaseProfile:
                 merged.seconds[name] = merged.seconds.get(name, 0.0) + seconds
             for name, calls in source.calls.items():
                 merged.calls[name] = merged.calls.get(name, 0) + calls
+            for name, value in source.counters.items():
+                merged.counters[name] = merged.counters.get(name, 0.0) + value
         return merged
 
     def table(self, title: str = "phase breakdown") -> str:
@@ -92,6 +100,19 @@ class PhaseProfile:
                 f"  {name:<8} {seconds * 1e3:>9.2f} ms  {share:>5.1f} %"
                 f"  ({calls} call(s))"
             )
+        if self.counters:
+            lines.append("counters:")
+            for name in sorted(self.counters):
+                lines.append(f"  {name:<22} {self.counters[name]:g}")
+            windows = self.counters.get("event_windows", 0.0)
+            if windows > 0:
+                rows = self.counters.get("event_live_rows", 0.0)
+                loop_s = self.counters.get("event_loop_s", 0.0)
+                lines.append(
+                    f"  window loop: {windows:.0f} windows, "
+                    f"{rows / windows:.1f} mean live rows/window, "
+                    f"{loop_s * 1e3:.2f} ms loop wall"
+                )
         return "\n".join(lines)
 
 
@@ -102,6 +123,18 @@ _active: Optional[PhaseProfile] = None
 def current_profile() -> Optional[PhaseProfile]:
     """The :class:`PhaseProfile` being captured, or ``None``."""
     return _active
+
+
+def add_counter(name: str, value: float) -> None:
+    """Accumulate ``value`` onto counter ``name`` of the active profile.
+
+    A no-op when no :func:`capture` is active, so instrumented hot
+    paths (the event engine's window loop above all) stay free on
+    unprofiled runs.
+    """
+    if _active is not None:
+        counters = _active.counters
+        counters[name] = counters.get(name, 0.0) + value
 
 
 class capture:

@@ -1,0 +1,165 @@
+"""Per-process reuse of scene-derived immutable artefacts.
+
+Grid sweeps vary framework/engine/link knobs far more often than they
+vary the workload, yet every cell used to re-run the same middleware
+batch grouping and Eq. 3 frame characterisation from scratch —
+``--profile`` showed those two phases dominating the warm cell.  The
+scene layer already memoises :class:`~repro.scene.scene.Scene` builds
+per process (:func:`~repro.session.spec.cached_scene`), so cells that
+share a workload also share *frame objects*; everything derived purely
+from a frame plus a hashable slice of the config can therefore be
+shared too.
+
+:class:`ReuseCache` is that sharing point: a per-process, in-memory
+memo table keyed by ``(section, anchor identity, config fingerprint)``
+where the *anchor* is the immutable frame (or batch) object the
+artefact was derived from.  Entries hold a strong reference to their
+anchor and are only served while ``entry.anchor is anchor`` — identity,
+not equality — so a rebuilt scene (cache eviction, different process)
+can never alias a stale artefact.  Cached values are immutable
+(frozen-dataclass :class:`~repro.pipeline.workunit.WorkUnit`,
+:class:`~repro.core.middleware.Batch`, counter tuples); call sites that
+hand consumers a mutable container copy it per call.
+
+This is *in-memory* reuse, deliberately distinct from the on-disk
+result cache: ``spec_key`` and :class:`~repro.session.cache.ResultCache`
+entries are untouched, and the numbers produced with reuse on are
+byte-identical to reuse off (the memo returns the very objects the
+build would have produced).  The cache is per-process by construction —
+worker processes start with an empty module instance and
+:class:`~repro.session.executor.ProcessExecutor` only forwards the
+enabled/disabled flag, never cache contents.
+
+Enable/disable is scoped, not global mutation: :func:`reuse_scope`
+wraps a sweep or session run, restoring the previous state on exit, so
+an A/B bench can interleave the two modes safely.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterator, Tuple
+
+__all__ = [
+    "ReuseCache",
+    "ReuseStats",
+    "get_cache",
+    "reuse_enabled",
+    "reuse_scope",
+    "set_reuse",
+]
+
+
+@dataclass
+class ReuseStats:
+    """Hit/miss counters of one :class:`ReuseCache`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    def snapshot(self) -> Tuple[int, int]:
+        return (self.hits, self.misses)
+
+
+@dataclass
+class _Entry:
+    """One memoised artefact, pinned to its anchor's identity."""
+
+    anchor: Any
+    value: Any
+
+
+class ReuseCache:
+    """Identity-anchored memo table for scene-derived artefacts.
+
+    ``max_entries`` bounds memory: the oldest entries (insertion order)
+    are dropped first.  The bound is generous — an entry is a couple of
+    tuples per (frame, cost-fingerprint) pair — and exists only so a
+    pathological sweep over thousands of workloads cannot grow without
+    limit.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self._entries: Dict[Hashable, _Entry] = {}
+        self._lock = threading.Lock()
+        self.stats = ReuseStats()
+        self.max_entries = max_entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = ReuseStats()
+
+    def memoize(
+        self,
+        section: str,
+        anchor: Any,
+        key: Hashable,
+        build: Callable[[], Any],
+    ) -> Any:
+        """``build()`` memoised under ``(section, anchor, key)``.
+
+        ``anchor`` is compared by identity (``is``), never equality: the
+        entry keeps a strong reference so a live hit is always against
+        the exact object the value was derived from, and a dead
+        ``id()`` can never be re-issued while its entry exists.  When
+        reuse is disabled the build runs unconditionally and nothing is
+        recorded.
+        """
+        if not _enabled:
+            return build()
+        full = (section, id(anchor), key)
+        with self._lock:
+            entry = self._entries.get(full)
+        if entry is not None and entry.anchor is anchor:
+            self.stats.hits += 1
+            return entry.value
+        value = build()
+        with self._lock:
+            self.stats.misses += 1
+            self._entries[full] = _Entry(anchor, value)
+            while len(self._entries) > self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+        return value
+
+
+#: Whether hook sites consult the cache.  On by default: reuse is
+#: byte-transparent, so figures/goldens/CSV exports are identical either
+#: way and only the wall clock changes.
+_enabled = True
+#: The process's cache.  Module-level so forked/spawned workers start
+#: fresh (per-process isolation is part of the contract, and tested).
+_cache = ReuseCache()
+
+
+def get_cache() -> ReuseCache:
+    """This process's :class:`ReuseCache`."""
+    return _cache
+
+
+def reuse_enabled() -> bool:
+    """Whether the reuse cache is currently consulted."""
+    return _enabled
+
+
+def set_reuse(enabled: bool) -> None:
+    """Set the reuse flag outright (process-pool initializers)."""
+    global _enabled
+    _enabled = bool(enabled)
+
+
+@contextmanager
+def reuse_scope(enabled: bool) -> Iterator[None]:
+    """Scoped enable/disable, restoring the previous state on exit."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    try:
+        yield
+    finally:
+        _enabled = previous

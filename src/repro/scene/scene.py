@@ -23,6 +23,17 @@ from repro.scene.texture import Texture, unique_texture_bytes
 class Frame:
     """One stereo frame of a VR application.
 
+    Frames are immutable after construction and, through the
+    per-process scene memo (:func:`~repro.session.spec.cached_scene`),
+    *shared by identity* across every cell of a sweep that renders the
+    same workload point.  That identity is load-bearing: the reuse
+    cache (:mod:`repro.reuse`) anchors frame-derived artefacts —
+    middleware batch groupings, characterised frame counters — on the
+    frame object itself (``is``, not ``==``), so mutating a frame in
+    place would silently poison artefacts other cells reuse.  Derive
+    changed frames with :func:`dataclasses.replace` instead; a new
+    object is a new anchor.
+
     Parameters
     ----------
     objects:

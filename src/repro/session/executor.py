@@ -57,6 +57,7 @@ from typing import (
 )
 
 from repro.profiling import PhaseProfile, capture, phase
+from repro.reuse import reuse_enabled, set_reuse
 from repro.session.cache import ResultCache, spec_key
 from repro.session.spec import RunSpec
 from repro.stats.metrics import SceneResult
@@ -230,7 +231,15 @@ class ProcessExecutor:
             gather(map(_execute_spec, to_run))
         else:
             workers = min(self.jobs, len(missing))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Workers start with an empty per-process reuse cache (the
+            # isolation contract); only the caller's on/off *flag* is
+            # forwarded, so `reuse=False` sweeps stay reuse-free in the
+            # pool too.
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=set_reuse,
+                initargs=(reuse_enabled(),),
+            ) as pool:
                 gather(pool.map(_execute_spec, to_run))
         return results
 

@@ -166,12 +166,25 @@ class ResultSet:
         priced by a non-default engine, so mixed-engine sweeps keep
         their provenance while default sweeps export byte-identically
         to the pre-engine layout.  Likewise ``profile_<phase>_s``
-        wall-time columns appear only on profiled sets, so unprofiled
-        exports never change shape.
+        wall-time columns — and ``profile_<counter>`` quantity columns
+        such as the event engine's window-loop statistics — appear only
+        on profiled sets, so unprofiled exports never change shape.
         """
         include_engine = any(
             spec.effective_engine != "analytic" for spec, _ in self._runs
         )
+        # Counter columns must be uniform across the set (CSV export
+        # takes its header from the first record), so emit the union of
+        # every profile's counters on all records, defaulting to 0.0.
+        counter_names: List[str] = []
+        if self.profiles is not None:
+            counter_names = sorted(
+                {
+                    name
+                    for profile in self.profiles
+                    for name in profile.counters
+                }
+            )
         records: List[Dict[str, object]] = []
         for index, (spec, result) in enumerate(self._runs):
             summary = result.to_dict(include_frames=False)
@@ -189,6 +202,13 @@ class ResultSet:
             if self.profiles is not None:
                 for name, seconds in self.profiles[index].to_dict().items():
                     record[f"profile_{name}_s"] = seconds
+                # Non-time counters (the event engine's window-loop
+                # statistics) ride along without the ``_s`` suffix —
+                # they are quantities, not wall seconds.
+                for name in counter_names:
+                    record[f"profile_{name}"] = (
+                        self.profiles[index].counters.get(name, 0.0)
+                    )
             records.append(record)
         return records
 

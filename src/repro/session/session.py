@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.config import SystemConfig
 from repro.profiling import PhaseProfile, capture, phase
+from repro.reuse import reuse_scope
 from repro.scene.scene import Scene
 from repro.session.cache import ResultCache
 from repro.session.executor import (
@@ -189,7 +190,7 @@ class Session(_ScaleMixin):
         ).validate()
         return probe.scene()
 
-    def run(self, profile: bool = False) -> SceneResult:
+    def run(self, profile: bool = False, reuse: bool = True) -> SceneResult:
         """Execute the run and return its :class:`SceneResult`.
 
         Unlike :meth:`RunSpec.execute <repro.session.spec.RunSpec.execute>`
@@ -198,20 +199,23 @@ class Session(_ScaleMixin):
         ``last_system.last_trace``.  With ``profile=True`` the run is
         additionally timed phase by phase (scene build, binding,
         pricing, execution) into :attr:`last_profile`; the numerical
-        result is unchanged.
+        result is unchanged.  ``reuse=False`` disables the per-process
+        :mod:`repro.reuse` cache for the run's duration (results are
+        byte-identical either way — only the wall clock changes).
         """
         spec = self.spec()
         framework = spec.build()
         self.last_framework = framework
         self.last_profile = None
-        if not profile:
-            return framework.render_scene(spec.scene())
-        self.last_profile = PhaseProfile()
-        with capture(self.last_profile):
-            with phase("scene"):
-                scene = spec.scene()
-            with phase("execute"):
-                return framework.render_scene(scene)
+        with reuse_scope(reuse):
+            if not profile:
+                return framework.render_scene(spec.scene())
+            self.last_profile = PhaseProfile()
+            with capture(self.last_profile):
+                with phase("scene"):
+                    scene = spec.scene()
+                with phase("execute"):
+                    return framework.render_scene(scene)
 
 
 class Sweep(_ScaleMixin):
@@ -293,6 +297,7 @@ class Sweep(_ScaleMixin):
         on_result: Optional[ResultCallback] = None,
         shard: Optional[Union[str, Tuple[int, int]]] = None,
         profile: bool = False,
+        reuse: bool = True,
     ) -> ResultSet:
         """Execute the grid into a :class:`ResultSet`.
 
@@ -336,6 +341,13 @@ class Sweep(_ScaleMixin):
         backend — wall-clock timings from parallel workers would not
         be comparable — so it cannot be combined with ``jobs``,
         ``executor`` or ``shard``.
+
+        ``reuse=False`` disables the per-process :mod:`repro.reuse`
+        cache for the sweep's duration — in-process backends run under
+        a :func:`~repro.reuse.reuse_scope`, and the process backend
+        forwards the flag to its workers.  Records are byte-identical
+        either way; grid cells sharing a workload are simply slower
+        without the cache.
         """
         if jobs < 1:
             raise SessionError("jobs must be at least 1")
@@ -352,7 +364,8 @@ class Sweep(_ScaleMixin):
             backend: SweepExecutor = ProfilingSerialExecutor()
         else:
             backend = make_executor(executor, jobs=jobs, shard=shard)
-        results = backend.run(specs, cache=cache, on_result=on_result)
+        with reuse_scope(reuse):
+            results = backend.run(specs, cache=cache, on_result=on_result)
         if len(results) != len(specs):
             raise SessionError(
                 f"executor {getattr(backend, 'name', backend)!r} returned "

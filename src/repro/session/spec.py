@@ -77,6 +77,16 @@ def cached_scene(
     The single scene-construction path shared by :meth:`RunSpec.scene`,
     :meth:`Session.scene <repro.session.session.Session.scene>` and the
     legacy ``runner.scene_for`` helper.
+
+    This memo is also the identity source the reuse cache
+    (:mod:`repro.reuse`) builds on: cells of a sweep that share a
+    workload point get the *same* :class:`Scene` — hence the same
+    :class:`~repro.scene.scene.Frame` objects — so frame-anchored
+    artefacts (batch groupings, characterised counters) are reused
+    across frameworks and engine variants within one process.  An
+    ``lru_cache`` eviction replaces the scene wholesale; the reuse
+    cache's identity anchors make the old frames' entries unreachable
+    rather than stale.
     """
     return make_benchmark_scene(
         workload, num_frames=num_frames, seed=seed, draw_scale=draw_scale

@@ -1000,3 +1000,198 @@ class TestEngineContentionStudy:
         assert phases.series["baseline [composition]"]["16GB/s"] == 1.0
         # OO-VR's DHC barrier queues on the shared switch.
         assert phases.series["oo-vr:topo=switch [composition]"]["16GB/s"] > 1.2
+
+
+# ---------------------------------------------------------------------------
+# Incremental window loop vs. the retained reference loop
+# ---------------------------------------------------------------------------
+
+
+def _random_flow_soup(engine, rng):
+    """A randomised schedule shaped like real recorded frames.
+
+    Mixes every row species the recording API can emit: compute-only
+    jobs, multi-row DRAM streams, latency-only flows, plain streaming
+    flows, staged multi-link streams (``rate_scale > 1``), dust flows
+    (below the progress threshold on both axes), zero-demand jobs and
+    background staging copies with start floors.
+    """
+    from repro.engine.event import _FlowSpec, _Job
+
+    fabric = engine.system.fabric
+    n = engine.system.num_gpms
+
+    def random_flow():
+        src, dst = (int(g) for g in rng.choice(n, size=2, replace=False))
+        route = tuple(fabric.route(src, dst))
+        assert route  # distinct endpoints always have a route
+        species = int(rng.integers(0, 4))
+        if species == 0:  # latency-only (barrier hop)
+            return _FlowSpec(
+                route=route,
+                nbytes=0.0,
+                latency=float(rng.uniform(0.5, 12.0)) * len(route),
+            )
+        if species == 1:  # staged copy streaming over the whole route
+            return _FlowSpec(
+                route=route,
+                nbytes=float(rng.uniform(1.0, 400.0)),
+                latency=0.0,
+                rate_scale=float(len(route)),
+            )
+        if species == 2:  # dust: never enters any live set
+            return _FlowSpec(route=route, nbytes=0.0, latency=0.0)
+        return _FlowSpec(  # plain remote read: latency then bytes
+            route=route,
+            nbytes=float(rng.uniform(1.0, 400.0)),
+            latency=float(rng.uniform(0.0, 6.0)) * len(route),
+        )
+
+    jobs = []
+    for index in range(int(rng.integers(4, 24))):
+        zero_demand = rng.random() < 0.1
+        dram = (
+            {}
+            if zero_demand
+            else {
+                int(gpm): float(rng.uniform(1.0, 300.0))
+                for gpm in rng.choice(
+                    n, size=int(rng.integers(0, 3)), replace=False
+                )
+            }
+        )
+        jobs.append(
+            _Job(
+                label=f"unit{index}",
+                gpm=int(rng.integers(0, n)),
+                kind="render",
+                start_floor=(
+                    float(rng.uniform(0.0, 40.0))
+                    if rng.random() < 0.4
+                    else 0.0
+                ),
+                compute=(
+                    0.0 if zero_demand else float(rng.uniform(0.0, 80.0))
+                ),
+                dram=dram,
+                flows=(
+                    []
+                    if zero_demand
+                    else [random_flow() for _ in range(int(rng.integers(0, 4)))]
+                ),
+                provisional_cycles=1.0,
+            )
+        )
+    background = []
+    for index in range(int(rng.integers(0, 3))):
+        src, dst = (int(g) for g in rng.choice(n, size=2, replace=False))
+        route = tuple(fabric.route(src, dst))
+        background.append(
+            _Job(
+                label=f"stage{index}",
+                gpm=dst,
+                kind="stage",
+                start_floor=float(rng.uniform(0.0, 20.0)),
+                compute=0.0,
+                dram={},
+                flows=[
+                    _FlowSpec(
+                        route=route,
+                        nbytes=float(rng.uniform(10.0, 500.0)),
+                        latency=0.0,
+                        rate_scale=float(len(route)),
+                    )
+                ],
+                provisional_cycles=0.0,
+            )
+        )
+    return jobs, background
+
+
+class TestIncrementalWindowLoop:
+    """The incremental loop is bit-equal to the full-scan oracle."""
+
+    @staticmethod
+    def _engine(config):
+        return MultiGPUSystem(config.with_engine("event")).engine
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_flow_soups_match_reference_exactly(self, config, seed):
+        import numpy as np
+
+        engine = self._engine(config)
+        rng = np.random.default_rng(20260808 + seed)
+        jobs, background = _random_flow_soup(engine, rng)
+        # _simulate never mutates its inputs, so both loops replay the
+        # identical schedule.
+        fast = engine._simulate(jobs, background)
+        slow = engine._simulate_reference(jobs, background)
+        assert fast.busy == slow.busy  # == : bit-exact, not approx
+        assert fast.end == slow.end
+        assert fast.intervals == slow.intervals
+        assert fast.link_busy == slow.link_busy
+        assert fast.link_bytes == slow.link_bytes
+        assert fast.windows == slow.windows
+        assert fast.live_rows == slow.live_rows
+
+    def test_latency_only_and_background_only_soup(self, config):
+        """Degenerate pass: no streaming rows at all, floors only."""
+        from repro.engine.event import _FlowSpec, _Job
+
+        engine = self._engine(config)
+        route = tuple(engine.system.fabric.route(0, 1))
+        jobs = [
+            _Job(
+                label="lat",
+                gpm=0,
+                kind="render",
+                start_floor=5.0,
+                compute=0.0,
+                dram={},
+                flows=[_FlowSpec(route=route, nbytes=0.0, latency=7.0)],
+                provisional_cycles=1.0,
+            )
+        ]
+        fast = engine._simulate(jobs)
+        slow = engine._simulate_reference(jobs)
+        assert fast.end == slow.end == [12.0, 0.0, 0.0, 0.0]
+        assert fast.intervals == slow.intervals
+
+    def test_reference_loop_flag_is_bit_exact_end_to_end(self):
+        """``use_reference_loop`` (the bench A/B switch) changes nothing."""
+        scene = fast_scene()
+        cfg = baseline_system().with_engine("event")
+        default = build_framework("oo-vr", cfg).render_scene(scene)
+        EventEngine.use_reference_loop = True
+        try:
+            reference = build_framework("oo-vr", cfg).render_scene(scene)
+        finally:
+            EventEngine.use_reference_loop = False
+        assert default.to_dict() == reference.to_dict()
+
+    @pytest.mark.parametrize("loop", ["_simulate", "_simulate_reference"])
+    def test_unfinishable_flow_raises_stall_diagnostic(self, config, loop):
+        """Satellite: dt == inf now raises with job labels, not 0.0."""
+        from repro.engine.event import _FlowSpec, _Job
+
+        engine = self._engine(config)
+        route = tuple(engine.system.fabric.route(0, 1))
+        wedge = _Job(
+            label="wedged-unit",
+            gpm=0,
+            kind="render",
+            start_floor=0.0,
+            compute=0.0,
+            dram={},
+            # Infinite latency: the flow is pending but never drains,
+            # so every window is zero-length.
+            flows=[
+                _FlowSpec(route=route, nbytes=5.0, latency=float("inf"))
+            ],
+            provisional_cycles=1.0,
+        )
+        with pytest.raises(RuntimeError) as excinfo:
+            getattr(engine, loop)([wedge])
+        message = str(excinfo.value)
+        assert "stalled" in message
+        assert "wedged-unit" in message

@@ -1,0 +1,175 @@
+"""The per-process reuse cache (repro.reuse).
+
+Covers the memo table's identity-anchored contract, the scoped
+enable/disable plumbing, byte-transparency of reuse across the serial
+and process executors, and per-process isolation (worker caches never
+leak into the parent).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import reuse
+from repro.session import Session, Sweep
+
+
+def shared_grid() -> Sweep:
+    """Frameworks sharing one workload: the reuse-friendly shape."""
+    return (
+        Sweep().fast().frameworks("oo-vr", "oo-app").workloads("HL2-640")
+    )
+
+
+# ---------------------------------------------------------------------------
+# The memo table itself
+# ---------------------------------------------------------------------------
+
+
+class TestReuseCache:
+    def test_memoize_builds_once_per_anchor_and_key(self):
+        cache = reuse.ReuseCache()
+        anchor = object()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return ("artefact",)
+
+        first = cache.memoize("section", anchor, ("cost",), build)
+        second = cache.memoize("section", anchor, ("cost",), build)
+        assert first is second  # the very same object, not a copy
+        assert calls == [1]
+        assert cache.stats.snapshot() == (1, 1)
+
+    def test_anchor_identity_not_equality(self):
+        """Equal-but-distinct anchors never alias each other's entries."""
+        cache = reuse.ReuseCache()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return len(calls)
+
+        first_anchor = tuple([1, 2])  # built at runtime: not interned
+        second_anchor = tuple([1, 2])
+        assert first_anchor == second_anchor
+        assert first_anchor is not second_anchor
+        assert cache.memoize("s", first_anchor, "k", build) == 1
+        # An equal but distinct tuple is a different anchor.
+        assert cache.memoize("s", second_anchor, "k", build) == 2
+
+    def test_key_and_section_separate_entries(self):
+        cache = reuse.ReuseCache()
+        anchor = object()
+        assert cache.memoize("a", anchor, "k1", lambda: 1) == 1
+        assert cache.memoize("a", anchor, "k2", lambda: 2) == 2
+        assert cache.memoize("b", anchor, "k1", lambda: 3) == 3
+        assert len(cache) == 3
+
+    def test_disabled_scope_builds_every_time_and_records_nothing(self):
+        cache = reuse.ReuseCache()
+        anchor = object()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return len(calls)
+
+        with reuse.reuse_scope(False):
+            assert cache.memoize("s", anchor, "k", build) == 1
+            assert cache.memoize("s", anchor, "k", build) == 2
+        assert len(cache) == 0
+        assert cache.stats.snapshot() == (0, 0)
+
+    def test_scope_restores_previous_state(self):
+        assert reuse.reuse_enabled()  # the default
+        with reuse.reuse_scope(False):
+            assert not reuse.reuse_enabled()
+            with reuse.reuse_scope(True):
+                assert reuse.reuse_enabled()
+            assert not reuse.reuse_enabled()
+        assert reuse.reuse_enabled()
+
+    def test_set_reuse_flips_the_flag(self):
+        try:
+            reuse.set_reuse(False)
+            assert not reuse.reuse_enabled()
+        finally:
+            reuse.set_reuse(True)
+        assert reuse.reuse_enabled()
+
+    def test_eviction_drops_oldest_first(self):
+        cache = reuse.ReuseCache(max_entries=2)
+        anchors = [object() for _ in range(3)]
+        for index, anchor in enumerate(anchors):
+            cache.memoize("s", anchor, index, lambda index=index: index)
+        assert len(cache) == 2
+        calls = []
+        # The oldest entry (anchor 0) was evicted: a re-lookup rebuilds.
+        cache.memoize("s", anchors[0], 0, lambda: calls.append(1))
+        assert calls == [1]
+
+    def test_clear_resets_entries_and_stats(self):
+        cache = reuse.ReuseCache()
+        cache.memoize("s", object(), "k", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.snapshot() == (0, 0)
+
+
+# ---------------------------------------------------------------------------
+# Byte-transparency across executors
+# ---------------------------------------------------------------------------
+
+
+class TestReuseTransparency:
+    def test_serial_sweep_byte_identical_reuse_on_vs_off(self):
+        with_reuse = shared_grid().run().to_csv()
+        without = shared_grid().run(reuse=False).to_csv()
+        assert with_reuse == without
+
+    def test_process_sweep_byte_identical_reuse_on_vs_off(self):
+        serial = shared_grid().run(reuse=False).to_csv()
+        assert shared_grid().run(jobs=2).to_csv() == serial
+        assert shared_grid().run(jobs=2, reuse=False).to_csv() == serial
+
+    def test_session_run_reuse_off_matches_default(self):
+        session = Session().framework("oo-vr").workload("HL2-640").fast()
+        assert (
+            session.run().to_dict()
+            == session.run(reuse=False).to_dict()
+        )
+
+    def test_shared_workload_grid_actually_hits(self):
+        """Cells sharing a workload reuse its frame-derived artefacts."""
+        reuse.get_cache().clear()
+        shared_grid().run()
+        hits, misses = reuse.get_cache().stats.snapshot()
+        assert misses > 0  # first framework's cells built the entries
+        assert hits > 0  # the second framework reused them
+
+
+# ---------------------------------------------------------------------------
+# Per-process isolation
+# ---------------------------------------------------------------------------
+
+
+class TestPerProcessIsolation:
+    def test_worker_caches_never_leak_into_the_parent(self):
+        """jobs > 1 executes in the pool: the parent memo stays empty."""
+        cache = reuse.get_cache()
+        cache.clear()
+        results = shared_grid().run(jobs=2)
+        assert len(results) == 2
+        assert len(cache) == 0
+        assert cache.stats.snapshot() == (0, 0)
+
+    def test_sweep_scope_is_active_during_and_restored_after(self):
+        states = []
+        shared_grid().run(
+            on_result=lambda *args: states.append(reuse.reuse_enabled()),
+            reuse=False,
+        )
+        assert states and not any(states)
+        assert reuse.reuse_enabled()  # restored after the run
