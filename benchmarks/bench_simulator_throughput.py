@@ -90,6 +90,11 @@ def test_cell_throughput():
       5120-triangle draw, where batching rejects every face without
       entering Python) is the headline: it must clear 10x over the
       per-triangle reference walk;
+    - ``scene_build`` — the vectorized scene generator against the
+      retained scalar reference (both sides emit frames *and* batches,
+      equality asserted field-for-field before timing, gate >= 3x),
+      plus the compiled-scene store's cold/warm/absent whole-cell wall
+      times with byte-identical results asserted first;
     - ``shared_workload_sweep`` — a 4-cell serial sweep whose cells all
       share one workload, run with the reuse cache on and off.  The
       CSVs are asserted byte-identical before either side is timed,
@@ -241,6 +246,112 @@ def test_cell_throughput():
     # a same-machine batched-vs-reference A/B.
     assert kernels["raster_front_end"]["speedup_vs_reference"] >= 10.0
 
+    # -- scene construction: batched generator vs scalar reference ------
+    # Both sides produce a Frame *and* its ObjectBatch (the reference
+    # pays `from_objects` flattening, the batched path emits the batch
+    # natively), and equality is asserted field-for-field before either
+    # side is timed — the vectorized generator must be bit-identical,
+    # not merely fast.
+    import shutil
+    import tempfile
+    from dataclasses import replace as dataclass_replace
+
+    from repro.scene.benchmarks import parse_workload
+    from repro.scene.store import SceneStore, scene_store_scope
+    from repro.scene.synthetic import SyntheticSceneGenerator
+    from repro.session.spec import cached_scene
+
+    bench_spec, width, height = parse_workload("HL2-1280")
+    scene_profile = dataclass_replace(
+        bench_spec.profile,
+        num_objects=bench_spec.num_draws,
+        width=width,
+        height=height,
+        name="HL2-1280",
+    )
+
+    def build_reference():
+        generator = SyntheticSceneGenerator(scene_profile, seed=2019)
+        scene = generator.make_scene_reference(num_frames=3)
+        for scene_frame in scene.frames:
+            scene_frame.object_batch  # flattening is part of the cost
+        return scene
+
+    def build_batched():
+        generator = SyntheticSceneGenerator(scene_profile, seed=2019)
+        return generator.make_scene(num_frames=3)
+
+    reference_scene = build_reference()
+    batched_scene = build_batched()
+    assert reference_scene.frames == batched_scene.frames
+    for ref_frame, fast_frame in zip(
+        reference_scene.frames, batched_scene.frames
+    ):
+        ref_batch = ref_frame.object_batch
+        fast_batch = fast_frame.object_batch
+        for column in (
+            "object_ids", "num_vertices", "num_triangles", "vertex_bytes",
+            "vertex_buffer_bytes", "depth_complexity", "shader_complexity",
+            "coverage", "left_area", "right_area", "has_left", "has_right",
+            "tex_offsets", "tex_ids", "tex_sizes",
+        ):
+            assert np.array_equal(
+                getattr(ref_batch, column), getattr(fast_batch, column)
+            ), column
+    objects_built = sum(len(f.objects) for f in batched_scene.frames)
+    reference_s = _best_seconds(build_reference)
+    batched_s = _best_seconds(build_batched)
+    scene_build = {
+        "workload": "HL2-1280 FULL x 3 frames (batch included both sides)",
+        "objects": objects_built,
+        "batched_objects_per_sec": round(objects_built / batched_s, 1),
+        "reference_objects_per_sec": round(objects_built / reference_s, 1),
+        "speedup_vs_reference": round(reference_s / batched_s, 2),
+    }
+    # The tentpole gate: the vectorized generator clears 3x over the
+    # retained scalar reference on the same host.
+    assert scene_build["speedup_vs_reference"] >= 3.0
+
+    # Cold-vs-warm compiled-scene store, whole-cell wall time.  The
+    # cold pass builds and persists, the warm pass mmap-loads; results
+    # are asserted identical to a store-less cell before timing.
+    store_dir = tempfile.mkdtemp(prefix="oovr-scene-bench-")
+    try:
+        store = SceneStore(store_dir)
+        cell_spec = RunSpec(framework="oo-vr", workload="HL2-1280")
+
+        def cell(active_store):
+            cached_scene.cache_clear()
+            if active_store is None:
+                return cell_spec.execute()
+            with scene_store_scope(active_store):
+                return cell_spec.execute()
+
+        plain_result = cell(None)
+        start = time.perf_counter()
+        cold_result = cell(store)
+        cold_s = time.perf_counter() - start
+        warm_result = cell(store)
+        assert cold_result.to_dict() == plain_result.to_dict()
+        assert warm_result.to_dict() == plain_result.to_dict()
+        warm_s = _best_seconds(lambda: cell(store), repeats=2)
+        no_store_s = _best_seconds(lambda: cell(None), repeats=2)
+        profile = profiling.PhaseProfile()
+        with profiling.capture(profile):
+            cell(store)
+        scene_s = profile.seconds.get("scene", 0.0)
+        total_s = profile.total_seconds
+        scene_build["store"] = {
+            "cold_cell_seconds": round(cold_s, 4),
+            "warm_cell_seconds": round(warm_s, 4),
+            "no_store_cell_seconds": round(no_store_s, 4),
+            "warm_speedup_vs_no_store": round(no_store_s / warm_s, 2),
+            "warm_scene_phase_fraction": round(scene_s / total_s, 4),
+            "byte_identical": True,
+        }
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
     # -- shared-workload sweep: reuse cache on vs off -------------------
     # Four cells over one workload — the ablation-grid shape the reuse
     # layer exists for (cells differ only in framework/variant, so
@@ -281,6 +392,7 @@ def test_cell_throughput():
         "baseline": GOLDEN_BASELINE.name,
         "engines": engines,
         "hot_path_kernels": kernels,
+        "scene_build": scene_build,
         "shared_workload_sweep": shared_sweep,
     }
     OUTPUT_DIR.mkdir(exist_ok=True)

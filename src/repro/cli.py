@@ -14,6 +14,9 @@ Every experiment command is a thin wrapper over the Session/Sweep API
     oovr run oo-vr HL2-1280 --engine event  # contention-aware timing
     oovr sweep --fast --engine event  # whole grid on the event engine
     oovr sweep --fast --cache .oovr-cache  # memoise cells on disk
+    oovr sweep --fast --scene-store .oovr-scenes  # mmap compiled scenes
+    oovr scene warm .oovr-scenes --fast   # pre-compile the suite
+    oovr scene info .oovr-scenes          # store inventory
     oovr sweep --fast --progress      # one line per completed cell
     oovr sweep --fast --shard 0/2 --cache shard0  # this host's slice
     oovr cache merge merged shard0 shard1  # gather scattered shards
@@ -35,8 +38,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro.engine import ENGINE_NAMES
 from repro.experiments import figures, tables
@@ -114,16 +118,56 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_run_names(args: argparse.Namespace) -> Tuple[str, str]:
+    """The run's (framework, workload) from positionals and/or aliases.
+
+    ``oovr run oo-vr HL2-1280``, ``oovr run --framework oo-vr
+    --workload HL2-1280`` and mixed forms like ``oovr run oo-vr
+    --workload HL2-1280`` all resolve; naming a slot both positionally
+    and via its option is a conflict (exit 2), never a silent override.
+    """
+    positionals = list(args.names)
+    given = (
+        len(positionals)
+        + (args.framework_opt is not None)
+        + (args.workload_opt is not None)
+    )
+    if given > 2:
+        raise SessionError(
+            "too many framework/workload names: each slot may be "
+            "given once, positionally or via --framework/--workload, "
+            "not both"
+        )
+    framework = args.framework_opt
+    workload = args.workload_opt
+    if framework is None and positionals:
+        framework = positionals.pop(0)
+    if workload is None and positionals:
+        workload = positionals.pop(0)
+    if framework is None or workload is None:
+        raise SessionError(
+            "run needs a framework and a workload: "
+            "`oovr run FRAMEWORK WORKLOAD` or "
+            "`oovr run --framework NAME --workload NAME`"
+        )
+    return framework, workload
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    framework, workload = _resolve_run_names(args)
     session = (
         Session()
-        .framework(args.framework)
-        .workload(args.workload)
+        .framework(framework)
+        .workload(workload)
         .preset(_experiment(args))
     )
     if args.engine is not None:
         session.engine(args.engine)
-    result = session.run(profile=args.profile, reuse=not args.no_reuse)
+    result = session.run(
+        profile=args.profile,
+        reuse=not args.no_reuse,
+        scene_store=args.scene_store,
+    )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
         if session.last_profile is not None:
@@ -191,6 +235,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.seed is not None:
         sweep.seed(args.seed)
     cache = ResultCache(args.cache) if args.cache else None
+    scene_store = None
+    if args.scene_store:
+        from repro.scene.store import SceneStore
+
+        # Built here (not inside Sweep.run) so the hit/miss stats of
+        # this invocation can be reported below.
+        scene_store = SceneStore(args.scene_store)
     if args.shard and not args.cache:
         print(
             "note: --shard without --cache computes this slice but "
@@ -226,6 +277,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         on_result=_on_result(args),
         profile=args.profile,
         reuse=not args.no_reuse,
+        scene_store=scene_store,
     )
 
     from repro.stats.reporting import format_table
@@ -263,6 +315,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
     if cache is not None:
         print(f"cache: {cache.stats.summary()} -> {args.cache}")
+    if scene_store is not None:
+        stats = scene_store.stats
+        print(
+            f"scene store: {stats.hits} hits, {stats.misses} misses "
+            f"-> {args.scene_store}"
+        )
     if args.csv:
         results.to_csv(args.csv)
         print(f"wrote {args.csv}")
@@ -402,6 +460,63 @@ def _cmd_cache_manifest(args: argparse.Namespace) -> int:
     return 0 if complete else 1
 
 
+def _cmd_scene(args: argparse.Namespace) -> int:
+    from repro.scene.store import SceneStore
+
+    if args.scene_command == "warm":
+        store = SceneStore(args.dir)
+        experiment = _experiment(args)
+        names = (
+            _csv_list(args.workloads) if args.workloads else tuple(WORKLOADS)
+        )
+        num_frames = args.frames if args.frames is not None else experiment.num_frames
+        seed = args.seed if args.seed is not None else experiment.seed
+        for workload in names:
+            before = store.stats.stores
+            scene = store.get_or_build(
+                workload, num_frames, seed, experiment.draw_scale
+            )
+            status = "compiled" if store.stats.stores > before else "present"
+            print(
+                f"  {workload:<12} {status}  "
+                f"({scene.num_draws} objects/frame, {len(scene)} frames)"
+            )
+        print(
+            f"scene store {args.dir}: {store.stats.misses} compiled, "
+            f"{store.stats.hits} already present"
+        )
+        return 0
+    if not os.path.isdir(args.dir):
+        # Inspection/maintenance must not create the directory a typo
+        # names (SceneStore.__init__ would mkdir it).
+        print(f"error: no scene store at {args.dir}", file=sys.stderr)
+        return 2
+    store = SceneStore(args.dir)
+    if args.scene_command == "info":
+        info = store.info()
+        if getattr(args, "json", False):
+            print(json.dumps(info, indent=2))
+            return 0
+        print(f"scene store at {info['root']}:")
+        print(f"  entries     : {info['entries']}")
+        print(f"  corrupt     : {info['corrupt']}")
+        print(f"  total bytes : {info['total_bytes']}")
+        for scene in info["scenes"]:
+            if scene.get("corrupt"):
+                print(f"  {scene['file']}: corrupt ({scene['bytes']} bytes)")
+                continue
+            print(
+                f"  {scene['key'][:12]} {scene['workload']:<12} "
+                f"frames={scene['num_frames']} seed={scene['seed']} "
+                f"scale={scene['draw_scale']:g} "
+                f"objects={scene['num_objects']} ({scene['bytes']} bytes)"
+            )
+        return 0
+    removed = store.clear()
+    print(f"cleared {removed} compiled scene(s) from {args.dir}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import serve
 
@@ -440,6 +555,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             poll_interval=args.poll_interval,
             lease_limit=args.lease_limit,
             max_idle=args.max_idle,
+            scene_store=args.scene_store,
         )
     except ValueError as error:
         raise SessionError(str(error)) from None
@@ -611,8 +727,21 @@ def make_parser() -> argparse.ArgumentParser:
     overhead.set_defaults(func=_cmd_overhead)
 
     run = sub.add_parser("run", help="run one framework on one workload")
-    run.add_argument("framework")
-    run.add_argument("workload")
+    run.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help="framework then workload, positionally; either slot may "
+        "instead be named via --framework/--workload",
+    )
+    run.add_argument(
+        "--framework", dest="framework_opt", metavar="NAME", default=None,
+        help="alias for the framework positional (conflicts if both "
+        "name the slot)",
+    )
+    run.add_argument(
+        "--workload", dest="workload_opt", metavar="NAME", default=None,
+        help="alias for the workload positional (conflicts if both "
+        "name the slot)",
+    )
     run.add_argument("--fast", action="store_true")
     run.add_argument(
         "--json", action="store_true",
@@ -636,6 +765,13 @@ def make_parser() -> argparse.ArgumentParser:
         help="disable the per-process reuse cache (memoised scene "
         "batches and frame characterisation); results are byte-"
         "identical either way",
+    )
+    run.add_argument(
+        "--scene-store", metavar="DIR",
+        default=os.environ.get("OOVR_SCENE_STORE"),
+        help="persistent compiled-scene store: mmap-load the scene "
+        "when already compiled, build-and-store otherwise (default: "
+        "$OOVR_SCENE_STORE); results are byte-identical either way",
     )
     run.set_defaults(func=_cmd_run)
 
@@ -705,6 +841,14 @@ def make_parser() -> argparse.ArgumentParser:
         "batches and frame characterisation shared by cells with the "
         "same workload); records are byte-identical either way",
     )
+    sweep.add_argument(
+        "--scene-store", metavar="DIR",
+        default=os.environ.get("OOVR_SCENE_STORE"),
+        help="persistent compiled-scene store shared by every process "
+        "of the sweep: each workload point is compiled once and "
+        "mmap-loaded everywhere else (default: $OOVR_SCENE_STORE); "
+        "records are byte-identical either way",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     cache = sub.add_parser(
@@ -747,6 +891,41 @@ def make_parser() -> argparse.ArgumentParser:
     )
     cache_manifest.add_argument("dir", help="cache directory")
     cache_manifest.set_defaults(func=_cmd_cache_manifest)
+
+    scene = sub.add_parser(
+        "scene", help="warm/inspect/clear compiled-scene stores"
+    )
+    scene_sub = scene.add_subparsers(dest="scene_command", required=True)
+    scene_warm = scene_sub.add_parser(
+        "warm",
+        help="pre-compile workload points into a store so later runs "
+        "and worker fleets mmap-load instead of building",
+    )
+    scene_warm.add_argument("dir", help="scene store directory (created)")
+    scene_warm.add_argument(
+        "--workloads",
+        help="comma-separated workload names (default: the full suite)",
+    )
+    scene_warm.add_argument(
+        "--fast", action="store_true", help="scaled-down scenes"
+    )
+    scene_warm.add_argument("--frames", type=int, help="frames per scene")
+    scene_warm.add_argument("--seed", type=int, help="scene-generation seed")
+    scene_warm.set_defaults(func=_cmd_scene)
+    scene_info = scene_sub.add_parser(
+        "info", help="store inventory (entries, workload points, bytes)"
+    )
+    scene_info.add_argument("dir", help="scene store directory")
+    scene_info.add_argument(
+        "--json", action="store_true",
+        help="machine-readable inventory (SceneStore.info document)",
+    )
+    scene_info.set_defaults(func=_cmd_scene)
+    scene_clear = scene_sub.add_parser(
+        "clear", help="drop every compiled scene"
+    )
+    scene_clear.add_argument("dir", help="scene store directory")
+    scene_clear.set_defaults(func=_cmd_scene)
 
     trace = sub.add_parser("trace", help="capture/inspect/replay traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -819,6 +998,13 @@ def make_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--max-idle", type=float, default=None, metavar="SECONDS",
         help="exit after this long without work (default: wait forever)",
+    )
+    worker.add_argument(
+        "--scene-store", metavar="DIR",
+        default=os.environ.get("OOVR_SCENE_STORE"),
+        help="persistent compiled-scene store for leased cells — a "
+        "fleet sharing one directory compiles each workload point "
+        "once (default: $OOVR_SCENE_STORE)",
     )
     worker.set_defaults(func=_cmd_worker)
 

@@ -12,6 +12,8 @@ This subpackage models everything the rendering frameworks consume:
   expansion of stereo draws for SMP-less pipelines;
 - :mod:`repro.scene.synthetic` — seeded generators producing game-like
   object distributions;
+- :mod:`repro.scene.store` — the persistent compiled-scene artifact
+  store (content-addressed, mmap-loaded);
 - :mod:`repro.scene.benchmarks` — the Table 3 suite (DM3, HL2, NFS,
   UT3, WE) at the paper's resolutions;
 - :mod:`repro.scene.vr` — Table 1 VR-vs-PC display requirement constants.
@@ -22,7 +24,18 @@ from repro.scene.geometry import Mesh, Viewport
 from repro.scene.batch import ObjectBatch, TriangleBatch
 from repro.scene.objects import Eye, RenderObject, StereoDraw
 from repro.scene.scene import Frame, Scene
-from repro.scene.synthetic import SceneProfile, SyntheticSceneGenerator
+from repro.scene.synthetic import (
+    GENERATOR_VERSION,
+    SceneProfile,
+    SyntheticSceneGenerator,
+)
+from repro.scene.store import (
+    SceneStore,
+    active_scene_store,
+    scene_key,
+    scene_store_scope,
+    set_scene_store,
+)
 from repro.scene.benchmarks import (
     BENCHMARKS,
     WORKLOADS,
@@ -44,8 +57,14 @@ __all__ = [
     "TriangleBatch",
     "Frame",
     "Scene",
+    "GENERATOR_VERSION",
     "SceneProfile",
+    "SceneStore",
     "SyntheticSceneGenerator",
+    "active_scene_store",
+    "scene_key",
+    "scene_store_scope",
+    "set_scene_store",
     "BENCHMARKS",
     "WORKLOADS",
     "BenchmarkSpec",

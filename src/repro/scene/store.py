@@ -1,0 +1,669 @@
+"""Persistent compiled-scene artifact store.
+
+Scene construction is deterministic per ``(workload, num_frames, seed,
+draw_scale)`` — that is what lets :func:`repro.session.spec.cached_scene`
+memoise it per process.  But the memo is *per process*: every worker of
+a ``--jobs N`` sweep and every ``oovr worker`` in a service fleet pays
+the full scene wall cold.  This module makes the compiled scene a
+first-class on-disk artifact instead, mirroring the content-addressed
+idiom of :mod:`repro.session.cache`:
+
+- **Key contract**: entries are addressed by a SHA-256 over the
+  canonical JSON of ``(store_version, generator_version, workload,
+  num_frames, seed, draw_scale)``.  ``generator_version`` is
+  :data:`repro.scene.synthetic.GENERATOR_VERSION` — the version of the
+  scene-generation *output*.  Any change to generation that moves
+  scenes must bump it; old entries then stop matching their key and
+  degrade to a rebuild-and-rewrite, never to silently stale numbers.
+- **Format**: one file per entry — an ``OOVRSCN1`` magic, a canonical
+  JSON header (entry metadata, the material table, and an array
+  directory), then the frames' struct-of-array columns as raw
+  little-endian buffers at 64-byte-aligned offsets.  Serialisation is
+  byte-deterministic, so concurrent writers racing on one key write
+  identical bytes and the ``os.replace`` rename (same crash-safety as
+  ``ResultCache.put``) makes the last one win harmlessly.
+- **Load path**: the file is ``mmap``-ed read-only and the
+  :class:`~repro.scene.batch.ObjectBatch` columns are zero-copy
+  ``np.frombuffer`` views of it; the per-object dataclasses are
+  materialised through the same fast path the batched generator uses.
+  A loaded scene is value-identical to a freshly built one (the store
+  round-trip tests pin byte-identical ``SceneResult.to_dict``), and —
+  because loading happens *inside* the ``cached_scene`` memo — it keeps
+  the per-process identity anchor the reuse cache depends on.
+
+The *active* store is module state scoped exactly like
+:mod:`repro.reuse`'s flags: :func:`scene_store_scope` for sessions and
+sweeps, :func:`set_scene_store` for process-pool initialisers and
+workers, :func:`active_scene_store` for the hook in ``cached_scene``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import tempfile
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.profiling import add_counter
+from repro.scene.batch import ObjectBatch
+from repro.scene.geometry import Mesh, Viewport
+from repro.scene.objects import RenderObject
+from repro.scene.scene import Frame, Scene
+from repro.scene.synthetic import GENERATOR_VERSION
+from repro.scene.texture import Texture
+
+__all__ = [
+    "SceneStore",
+    "SceneStoreStats",
+    "scene_key",
+    "active_scene_store",
+    "set_scene_store",
+    "scene_store_scope",
+    "build_scene_counted",
+]
+
+#: File magic of a compiled-scene entry.
+MAGIC = b"OOVRSCN1"
+#: Version of the on-disk container layout (not of scene content).
+STORE_VERSION = 1
+#: Data buffers start on this alignment, large enough for any dtype
+#: and friendly to mmap page reuse.
+ALIGNMENT = 64
+
+#: The batch columns persisted verbatim, in directory order.
+_BATCH_COLUMNS = (
+    "object_ids",
+    "num_vertices",
+    "num_triangles",
+    "vertex_bytes",
+    "vertex_buffer_bytes",
+    "depth_complexity",
+    "shader_complexity",
+    "coverage",
+    "left_area",
+    "right_area",
+    "has_left",
+    "has_right",
+    "tex_offsets",
+    "tex_ids",
+    "tex_sizes",
+)
+#: Extra columns needed to rebuild the API dataclasses.
+_EXTRA_COLUMNS = (
+    "left_x0", "left_y0", "left_x1", "left_y1",
+    "right_x0", "right_y0", "right_x1", "right_y1",
+    "right_is_left",
+    "depends",
+)
+
+
+def scene_key(
+    workload: str, num_frames: int, seed: int, draw_scale: float
+) -> str:
+    """The content address of one workload point's compiled scene.
+
+    SHA-256 over the canonical JSON of the workload point *and* the
+    generator/store versions, mirroring ``repro.session.cache.spec_key``:
+    same key therefore means bit-identical scene bytes.
+    """
+    payload = {
+        "store_version": STORE_VERSION,
+        "generator_version": GENERATOR_VERSION,
+        "workload": workload,
+        "num_frames": num_frames,
+        "seed": seed,
+        "draw_scale": draw_scale,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def build_scene_counted(
+    workload: str, num_frames: int, seed: int, draw_scale: float
+) -> Scene:
+    """Build a scene, reporting scene-phase counters to any active
+    :func:`repro.profiling.capture` (no-ops otherwise)."""
+    from repro.scene.benchmarks import make_benchmark_scene
+
+    start = time.perf_counter()
+    scene = make_benchmark_scene(
+        workload, num_frames=num_frames, seed=seed, draw_scale=draw_scale
+    )
+    add_counter("scene_build_s", time.perf_counter() - start)
+    add_counter(
+        "scene_objects_built", sum(len(frame.objects) for frame in scene.frames)
+    )
+    add_counter("scene_frames_built", len(scene.frames))
+    return scene
+
+
+@dataclass
+class SceneStoreStats:
+    """Hit/miss accounting for one :class:`SceneStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
+
+
+class SceneStore:
+    """Content-addressed on-disk cache of compiled scenes.
+
+    See the module docstring for the key contract and file format.
+    ``get`` never raises on a bad entry: unreadable, truncated, or
+    version/key-mismatched files count as ``stats.corrupt`` misses and
+    ``get_or_build`` rebuilds and rewrites them.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = SceneStoreStats()
+
+    # -- paths ----------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.scene"
+
+    def entry_paths(self) -> List[Path]:
+        return sorted(self.root.glob("*.scene"))
+
+    # -- store ----------------------------------------------------------
+
+    def put(
+        self,
+        scene: Scene,
+        workload: str,
+        num_frames: int,
+        seed: int,
+        draw_scale: float,
+    ) -> Path:
+        """Serialise ``scene`` under its content address, atomically.
+
+        Byte-deterministic: two processes racing to store the same
+        workload point write identical files, so the ``os.replace``
+        rename is safe under concurrency and crashes can at worst leave
+        a ``.tmp`` file behind, never a partial entry.
+        """
+        key = scene_key(workload, num_frames, seed, draw_scale)
+        payload = _serialise_scene(
+            scene,
+            {
+                "store_version": STORE_VERSION,
+                "generator_version": GENERATOR_VERSION,
+                "key": key,
+                "workload": workload,
+                "num_frames": num_frames,
+                "seed": seed,
+                "draw_scale": draw_scale,
+            },
+        )
+        path = self.path_for(key)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb",
+            dir=self.root,
+            prefix=f".{key[:16]}-",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            handle.write(payload)
+            handle.close()
+            os.replace(handle.name, path)
+        except BaseException:
+            handle.close()
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    # -- load -----------------------------------------------------------
+
+    def get(
+        self, workload: str, num_frames: int, seed: int, draw_scale: float
+    ) -> Optional[Scene]:
+        """The stored scene for a workload point, or ``None`` on miss.
+
+        Corrupt or stale entries (bad magic, truncation, version or key
+        mismatch) are counted in ``stats.corrupt`` and treated as a
+        miss — the caller rebuilds and overwrites.
+        """
+        key = scene_key(workload, num_frames, seed, draw_scale)
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                buffer = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        try:
+            scene = _deserialise_scene(buffer, expected_key=key)
+        except Exception:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return scene
+
+    def get_or_build(
+        self, workload: str, num_frames: int, seed: int, draw_scale: float
+    ) -> Scene:
+        """The scene for a workload point: mmap-loaded when stored,
+        otherwise built once and persisted for every later process."""
+        start = time.perf_counter()
+        scene = self.get(workload, num_frames, seed, draw_scale)
+        if scene is not None:
+            add_counter("scene_store_hit", 1)
+            add_counter("scene_load_s", time.perf_counter() - start)
+            return scene
+        add_counter("scene_store_miss", 1)
+        scene = build_scene_counted(workload, num_frames, seed, draw_scale)
+        self.put(scene, workload, num_frames, seed, draw_scale)
+        return scene
+
+    # -- maintenance -----------------------------------------------------
+
+    def info(self) -> dict:
+        """Inventory of the store, shaped for ``oovr scene info``."""
+        scenes = []
+        total_bytes = 0
+        corrupt = 0
+        for path in self.entry_paths():
+            size = path.stat().st_size
+            total_bytes += size
+            header = _read_header(path)
+            if header is None:
+                corrupt += 1
+                scenes.append({"file": path.name, "bytes": size, "corrupt": True})
+                continue
+            scenes.append(
+                {
+                    "key": header["key"],
+                    "workload": header["workload"],
+                    "num_frames": header["num_frames"],
+                    "seed": header["seed"],
+                    "draw_scale": header["draw_scale"],
+                    "generator_version": header["generator_version"],
+                    "num_objects": header["scene"]["num_objects"],
+                    "bytes": size,
+                }
+            )
+        return {
+            "root": str(self.root),
+            "entries": len(scenes),
+            "corrupt": corrupt,
+            "total_bytes": total_bytes,
+            "scenes": scenes,
+            "stats": self.stats.as_dict(),
+        }
+
+    def clear(self) -> int:
+        """Delete every entry (and stray temp file); return the count."""
+        removed = 0
+        for path in self.entry_paths():
+            path.unlink()
+            removed += 1
+        for stray in self.root.glob(".*.tmp"):
+            stray.unlink()
+        return removed
+
+
+# -- serialisation -------------------------------------------------------
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def _frame_columns(frame: Frame) -> dict:
+    """Gather one frame's persistable columns (batch + rebuild extras)."""
+    batch = frame.object_batch
+    n = len(frame.objects)
+    columns = {name: getattr(batch, name) for name in _BATCH_COLUMNS}
+    left = np.zeros((4, n), dtype=np.float64)
+    right = np.zeros((4, n), dtype=np.float64)
+    right_is_left = np.zeros(n, dtype=bool)
+    depends = np.full(n, -1, dtype=np.int64)
+    for i, obj in enumerate(frame.objects):
+        if obj.viewport_left is not None:
+            vp = obj.viewport_left
+            left[0, i] = vp.x0
+            left[1, i] = vp.y0
+            left[2, i] = vp.x1
+            left[3, i] = vp.y1
+        if obj.viewport_right is not None:
+            vp = obj.viewport_right
+            right[0, i] = vp.x0
+            right[1, i] = vp.y0
+            right[2, i] = vp.x1
+            right[3, i] = vp.y1
+            right_is_left[i] = obj.viewport_right is obj.viewport_left
+        if obj.depends_on is not None:
+            depends[i] = obj.depends_on
+    columns["left_x0"], columns["left_y0"] = left[0], left[1]
+    columns["left_x1"], columns["left_y1"] = left[2], left[3]
+    columns["right_x0"], columns["right_y0"] = right[0], right[1]
+    columns["right_x1"], columns["right_y1"] = right[2], right[3]
+    columns["right_is_left"] = right_is_left
+    columns["depends"] = depends
+    return columns
+
+
+def _serialise_scene(scene: Scene, meta: dict) -> bytes:
+    """The byte-deterministic single-file container for ``scene``."""
+    materials: dict = {}
+    for frame in scene.frames:
+        for obj in frame.objects:
+            for texture in obj.textures:
+                materials.setdefault(texture.texture_id, texture)
+    material_table = [materials[tid] for tid in sorted(materials)]
+
+    directory: List[dict] = []
+    blobs: List[bytes] = []
+    offset = 0
+    frames_meta = []
+    for frame in scene.frames:
+        columns = _frame_columns(frame)
+        names = [obj.name for obj in frame.objects]
+        derived = names == [
+            f"{scene.name}/obj{obj.object_id:05d}" for obj in frame.objects
+        ]
+        frames_meta.append(
+            {
+                "frame_id": frame.frame_id,
+                "num_objects": len(frame.objects),
+                "names": None if derived else names,
+            }
+        )
+        for name in _BATCH_COLUMNS + _EXTRA_COLUMNS:
+            array = np.ascontiguousarray(columns[name])
+            blob = array.tobytes()
+            offset = _align(offset)
+            directory.append(
+                {
+                    "frame": frame.frame_id,
+                    "name": name,
+                    "dtype": array.dtype.str,
+                    "count": int(array.size),
+                    "offset": offset,
+                }
+            )
+            blobs.append(blob)
+            offset += len(blob)
+
+    header = dict(meta)
+    header["scene"] = {
+        "name": scene.name,
+        "width": scene.width,
+        "height": scene.height,
+        "num_objects": sum(len(frame.objects) for frame in scene.frames),
+    }
+    header["materials"] = {
+        "ids": [texture.texture_id for texture in material_table],
+        "sizes": [texture.size_bytes for texture in material_table],
+        "names": [texture.name for texture in material_table],
+    }
+    header["frames"] = frames_meta
+    header["arrays"] = directory
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+    data_start = _align(len(MAGIC) + 8 + len(header_bytes))
+    parts = [MAGIC, len(header_bytes).to_bytes(8, "little"), header_bytes]
+    written = len(MAGIC) + 8 + len(header_bytes)
+    for entry, blob in zip(directory, blobs):
+        absolute = data_start + entry["offset"]
+        parts.append(b"\x00" * (absolute - written))
+        parts.append(blob)
+        written = absolute + len(blob)
+    return b"".join(parts)
+
+
+def _read_header(path: Path) -> Optional[dict]:
+    """The parsed + validated header of an entry, or ``None`` if bad."""
+    try:
+        with open(path, "rb") as fh:
+            magic = fh.read(len(MAGIC))
+            if magic != MAGIC:
+                return None
+            header_len = int.from_bytes(fh.read(8), "little")
+            if not 0 < header_len <= 64 * 1024 * 1024:
+                return None
+            header = json.loads(fh.read(header_len).decode("utf-8"))
+    except (OSError, ValueError, UnicodeDecodeError):
+        return None
+    if header.get("store_version") != STORE_VERSION:
+        return None
+    return header
+
+
+def _deserialise_scene(buffer: mmap.mmap, expected_key: str) -> Scene:
+    """Rebuild a scene from an mmap-ed entry, zero-copy for the batch.
+
+    Raises on any inconsistency; :meth:`SceneStore.get` maps that to a
+    corrupt miss.
+    """
+    if buffer[: len(MAGIC)] != MAGIC:
+        raise ValueError("bad magic")
+    header_len = int.from_bytes(buffer[len(MAGIC) : len(MAGIC) + 8], "little")
+    header_start = len(MAGIC) + 8
+    header = json.loads(
+        buffer[header_start : header_start + header_len].decode("utf-8")
+    )
+    if header["store_version"] != STORE_VERSION:
+        raise ValueError("store version mismatch")
+    if header["generator_version"] != GENERATOR_VERSION:
+        raise ValueError("generator version mismatch")
+    if header["key"] != expected_key:
+        raise ValueError("key mismatch")
+    data_start = _align(header_start + header_len)
+
+    mats = header["materials"]
+    textures = {
+        tid: Texture(texture_id=tid, name=name, size_bytes=size)
+        for tid, name, size in zip(mats["ids"], mats["names"], mats["sizes"])
+    }
+
+    arrays: dict = {}
+    for entry in header["arrays"]:
+        dtype = np.dtype(entry["dtype"])
+        start = data_start + entry["offset"]
+        end = start + entry["count"] * dtype.itemsize
+        if end > len(buffer):
+            raise ValueError("truncated entry")
+        arrays[(entry["frame"], entry["name"])] = np.frombuffer(
+            buffer, dtype=dtype, count=entry["count"], offset=start
+        )
+
+    scene_meta = header["scene"]
+    scene_name = scene_meta["name"]
+    width = scene_meta["width"]
+    height = scene_meta["height"]
+    frames = []
+    for frame_meta in header["frames"]:
+        frame_id = frame_meta["frame_id"]
+        n = frame_meta["num_objects"]
+        column = {
+            name: arrays[(frame_id, name)]
+            for name in _BATCH_COLUMNS + _EXTRA_COLUMNS
+        }
+        if len(column["object_ids"]) != n or len(column["tex_offsets"]) != n + 1:
+            raise ValueError("column length mismatch")
+        names = frame_meta["names"]
+        objects = _materialise_loaded_objects(
+            scene_name, n, names, column, textures
+        )
+        frame = object.__new__(Frame)
+        frame.__dict__.update(
+            objects=objects, width=width, height=height, frame_id=frame_id
+        )
+        frame.__dict__["object_batch"] = ObjectBatch(
+            objects=objects,
+            **{name: column[name] for name in _BATCH_COLUMNS},
+        )
+        frames.append(frame)
+
+    scene = object.__new__(Scene)
+    scene.__dict__.update(name=scene_name, frames=tuple(frames))
+    return scene
+
+
+def _materialise_loaded_objects(
+    scene_name: str,
+    n: int,
+    names: Optional[List[str]],
+    column: dict,
+    textures: dict,
+) -> Tuple[RenderObject, ...]:
+    """Rebuild the per-object dataclasses from mmap-ed columns.
+
+    Same fast-construction technique as the batched generator: the
+    stored values came from validated objects, so ``__post_init__``
+    re-checks are skipped.
+    """
+    new = object.__new__
+    object_ids = column["object_ids"].tolist()
+    verts = column["num_vertices"].tolist()
+    tris = column["num_triangles"].tolist()
+    vbytes = column["vertex_bytes"].tolist()
+    depth = column["depth_complexity"].tolist()
+    shader = column["shader_complexity"].tolist()
+    coverage = column["coverage"].tolist()
+    has_left = column["has_left"].tolist()
+    has_right = column["has_right"].tolist()
+    lx0 = column["left_x0"].tolist()
+    ly0 = column["left_y0"].tolist()
+    lx1 = column["left_x1"].tolist()
+    ly1 = column["left_y1"].tolist()
+    rx0 = column["right_x0"].tolist()
+    ry0 = column["right_y0"].tolist()
+    rx1 = column["right_x1"].tolist()
+    ry1 = column["right_y1"].tolist()
+    right_is_left = column["right_is_left"].tolist()
+    depends = column["depends"].tolist()
+    tex_offsets = column["tex_offsets"].tolist()
+    tex_ids = column["tex_ids"].tolist()
+    objects = []
+    append = objects.append
+    for i in range(n):
+        object_id = object_ids[i]
+        mesh = new(Mesh)
+        md = mesh.__dict__
+        md["num_vertices"] = verts[i]
+        md["num_triangles"] = tris[i]
+        md["vertex_bytes"] = vbytes[i]
+        left_vp = None
+        if has_left[i]:
+            left_vp = new(Viewport)
+            vd = left_vp.__dict__
+            vd["x0"] = lx0[i]
+            vd["y0"] = ly0[i]
+            vd["x1"] = lx1[i]
+            vd["y1"] = ly1[i]
+        right_vp = None
+        if has_right[i]:
+            if right_is_left[i] and left_vp is not None:
+                right_vp = left_vp
+            else:
+                right_vp = new(Viewport)
+                vd = right_vp.__dict__
+                vd["x0"] = rx0[i]
+                vd["y0"] = ry0[i]
+                vd["x1"] = rx1[i]
+                vd["y1"] = ry1[i]
+        obj = new(RenderObject)
+        od = obj.__dict__
+        od["object_id"] = object_id
+        od["name"] = (
+            names[i] if names is not None
+            else f"{scene_name}/obj{object_id:05d}"
+        )
+        od["mesh"] = mesh
+        od["textures"] = tuple(
+            textures[tid] for tid in tex_ids[tex_offsets[i] : tex_offsets[i + 1]]
+        )
+        od["viewport_left"] = left_vp
+        od["viewport_right"] = right_vp
+        od["depth_complexity"] = depth[i]
+        od["shader_complexity"] = shader[i]
+        od["coverage"] = coverage[i]
+        od["depends_on"] = depends[i] if depends[i] >= 0 else None
+        append(obj)
+    return tuple(objects)
+
+
+# -- the active store (scoped like repro.reuse's flags) ------------------
+
+_active_store: Optional[SceneStore] = None
+
+StoreLike = Union[SceneStore, str, Path, None]
+
+
+def _coerce(store: StoreLike) -> Optional[SceneStore]:
+    if store is None or isinstance(store, SceneStore):
+        return store
+    return SceneStore(store)
+
+
+def active_scene_store() -> Optional[SceneStore]:
+    """The store ``cached_scene`` consults, or ``None`` when disabled."""
+    return _active_store
+
+
+def set_scene_store(store: StoreLike) -> Optional[SceneStore]:
+    """Set the process's active store (pass ``None`` to disable).
+
+    Accepts a :class:`SceneStore` or a root path; used directly by
+    process-pool initialisers and service workers, where a path string
+    is what survives pickling.  Returns the active store.
+    """
+    global _active_store
+    _active_store = _coerce(store)
+    return _active_store
+
+
+@contextmanager
+def scene_store_scope(store: StoreLike) -> Iterator[Optional[SceneStore]]:
+    """Scoped :func:`set_scene_store`, restoring the previous store.
+
+    ``None`` (the default of every ``run(scene_store=...)``) leaves the
+    ambient store untouched rather than disabling it, so a process-wide
+    :func:`set_scene_store` keeps applying to runs that did not name
+    one; use :func:`set_scene_store(None) <set_scene_store>` to disable
+    explicitly.
+    """
+    global _active_store
+    if store is None:
+        yield _active_store
+        return
+    previous = _active_store
+    _active_store = _coerce(store)
+    try:
+        yield _active_store
+    finally:
+        _active_store = previous

@@ -22,8 +22,10 @@ from __future__ import annotations
 import os
 import socket
 import time
-from typing import Callable, Dict, Optional
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
 
+from repro.scene.store import SceneStore, scene_store_scope
 from repro.service.client import ServiceClient, ServiceError
 from repro.session.cache import CacheMergeError, encode_entry, spec_key
 from repro.session.executor import ProcessExecutor, SerialExecutor
@@ -46,6 +48,7 @@ class SweepWorker:
         max_idle: Optional[float] = None,
         retries: int = DEFAULT_RETRIES,
         client: Optional[ServiceClient] = None,
+        scene_store: Optional[Union[SceneStore, str, Path]] = None,
     ) -> None:
         self.client = client or ServiceClient(server)
         self.name = name or f"{socket.gethostname()}-{os.getpid()}"
@@ -65,6 +68,14 @@ class SweepWorker:
         self.executor = (
             ProcessExecutor(self.jobs) if self.jobs > 1 else SerialExecutor()
         )
+        #: Optional compiled-scene store (:mod:`repro.scene.store`):
+        #: every lease executes under it, so a fleet sharing one store
+        #: directory compiles each workload point once across hosts.
+        self.scene_store: Optional[SceneStore] = (
+            scene_store
+            if isinstance(scene_store, SceneStore) or scene_store is None
+            else SceneStore(scene_store)
+        )
         #: Cells executed and uploaded over this worker's lifetime.
         self.cells_done = 0
         self.leases_served = 0
@@ -77,7 +88,8 @@ class SweepWorker:
         specs = specs_from_wire(lease["specs"])
         # No cache here: the server's cache is the store of record and
         # already filtered hits out at submit time.
-        results = self.executor.run(specs)
+        with scene_store_scope(self.scene_store):
+            results = self.executor.run(specs)
         entries = [
             {"key": spec_key(spec), "payload": encode_entry(spec, result)}
             for spec, result in zip(specs, results)

@@ -22,7 +22,11 @@ is a cell (or grid of cells) of the paper's evaluation space
 :class:`ResultCache` memoises executed cells on disk, keyed by a
 stable content hash of the spec (:func:`spec_key`); pass it (or a
 directory path) as ``Sweep.run(cache=...)`` to skip already-executed
-grid cells while staying byte-identical to an uncached run.
+grid cells while staying byte-identical to an uncached run.  The
+compiled-scene store (:mod:`repro.scene.store`) is the same idea one
+layer down: ``run(scene_store=...)`` mmap-loads already-compiled
+workload points instead of rebuilding them in every process, again
+byte-identical either way.
 
 *Where* a sweep executes is a pluggable backend
 (:mod:`repro.session.executor`): :class:`SerialExecutor`,

@@ -58,6 +58,7 @@ from typing import (
 
 from repro.profiling import PhaseProfile, capture, phase
 from repro.reuse import reuse_enabled, set_reuse
+from repro.scene.store import active_scene_store, set_scene_store
 from repro.session.cache import ResultCache, spec_key
 from repro.session.spec import RunSpec
 from repro.stats.metrics import SceneResult
@@ -107,6 +108,17 @@ class SweepExecutor(Protocol):
 def _execute_spec(spec: RunSpec) -> SceneResult:
     """Top-level worker so ``ProcessPoolExecutor`` can pickle it."""
     return spec.execute()
+
+
+def _init_worker(reuse_flag: bool, store_root: Optional[str]) -> None:
+    """Pool-worker initializer: inherit the parent's reuse flag and
+    compiled-scene store.  The store travels as a directory path (a
+    :class:`~repro.scene.store.SceneStore` holds no picklable state
+    worth shipping), so each worker opens its own handle on the shared
+    directory and loads — rather than rebuilds — every workload point
+    another process already compiled."""
+    set_reuse(reuse_flag)
+    set_scene_store(store_root)
 
 
 def _lookup(
@@ -234,11 +246,17 @@ class ProcessExecutor:
             # Workers start with an empty per-process reuse cache (the
             # isolation contract); only the caller's on/off *flag* is
             # forwarded, so `reuse=False` sweeps stay reuse-free in the
-            # pool too.
+            # pool too.  The active scene store (if any) is forwarded
+            # as its directory path so every worker shares the same
+            # on-disk compiled scenes.
+            store = active_scene_store()
             with ProcessPoolExecutor(
                 max_workers=workers,
-                initializer=set_reuse,
-                initargs=(reuse_enabled(),),
+                initializer=_init_worker,
+                initargs=(
+                    reuse_enabled(),
+                    str(store.root) if store is not None else None,
+                ),
             ) as pool:
                 gather(pool.map(_execute_spec, to_run))
         return results

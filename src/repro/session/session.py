@@ -34,6 +34,7 @@ from repro.config import SystemConfig
 from repro.profiling import PhaseProfile, capture, phase
 from repro.reuse import reuse_scope
 from repro.scene.scene import Scene
+from repro.scene.store import SceneStore, scene_store_scope
 from repro.session.cache import ResultCache
 from repro.session.executor import (
     ProfilingSerialExecutor,
@@ -190,7 +191,12 @@ class Session(_ScaleMixin):
         ).validate()
         return probe.scene()
 
-    def run(self, profile: bool = False, reuse: bool = True) -> SceneResult:
+    def run(
+        self,
+        profile: bool = False,
+        reuse: bool = True,
+        scene_store: Optional[Union[SceneStore, str, Path]] = None,
+    ) -> SceneResult:
         """Execute the run and return its :class:`SceneResult`.
 
         Unlike :meth:`RunSpec.execute <repro.session.spec.RunSpec.execute>`
@@ -202,12 +208,18 @@ class Session(_ScaleMixin):
         result is unchanged.  ``reuse=False`` disables the per-process
         :mod:`repro.reuse` cache for the run's duration (results are
         byte-identical either way — only the wall clock changes).
+
+        ``scene_store`` (a :class:`~repro.scene.store.SceneStore` or a
+        directory path) activates the persistent compiled-scene store
+        for the run's duration: the scene is mmap-loaded from disk when
+        already compiled, built-and-stored otherwise.  Results are
+        byte-identical with the store cold, warm or absent.
         """
         spec = self.spec()
         framework = spec.build()
         self.last_framework = framework
         self.last_profile = None
-        with reuse_scope(reuse):
+        with reuse_scope(reuse), scene_store_scope(scene_store):
             if not profile:
                 return framework.render_scene(spec.scene())
             self.last_profile = PhaseProfile()
@@ -298,6 +310,7 @@ class Sweep(_ScaleMixin):
         shard: Optional[Union[str, Tuple[int, int]]] = None,
         profile: bool = False,
         reuse: bool = True,
+        scene_store: Optional[Union[SceneStore, str, Path]] = None,
     ) -> ResultSet:
         """Execute the grid into a :class:`ResultSet`.
 
@@ -348,6 +361,14 @@ class Sweep(_ScaleMixin):
         forwards the flag to its workers.  Records are byte-identical
         either way; grid cells sharing a workload are simply slower
         without the cache.
+
+        ``scene_store`` (a :class:`~repro.scene.store.SceneStore` or a
+        directory path) activates the persistent compiled-scene store
+        for the sweep's duration: workload points already compiled on
+        disk are mmap-loaded instead of rebuilt, and the process
+        backend forwards the store path to its workers so a ``jobs=N``
+        sweep compiles each workload point once instead of N times.
+        Records are byte-identical with the store cold, warm or absent.
         """
         if jobs < 1:
             raise SessionError("jobs must be at least 1")
@@ -364,7 +385,7 @@ class Sweep(_ScaleMixin):
             backend: SweepExecutor = ProfilingSerialExecutor()
         else:
             backend = make_executor(executor, jobs=jobs, shard=shard)
-        with reuse_scope(reuse):
+        with reuse_scope(reuse), scene_store_scope(scene_store):
             results = backend.run(specs, cache=cache, on_result=on_result)
         if len(results) != len(specs):
             raise SessionError(

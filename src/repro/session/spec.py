@@ -19,11 +19,7 @@ from typing import Optional, Sequence
 
 from repro.config import SystemConfig
 from repro.profiling import phase
-from repro.scene.benchmarks import (
-    WORKLOADS,
-    make_benchmark_scene,
-    parse_workload,
-)
+from repro.scene.benchmarks import WORKLOADS, parse_workload
 from repro.scene.scene import Scene
 from repro.stats.metrics import SceneResult
 
@@ -87,10 +83,25 @@ def cached_scene(
     ``lru_cache`` eviction replaces the scene wholesale; the reuse
     cache's identity anchors make the old frames' entries unreachable
     rather than stale.
+
+    When a compiled-scene store is active (:mod:`repro.scene.store` —
+    threaded through ``Session/Sweep.run(scene_store=...)`` and the
+    ``--scene-store`` CLI flag), the store is consulted *before*
+    building: its entries are keyed by a SHA-256 over ``(workload,
+    num_frames, seed, draw_scale)`` — exactly this memo's key — plus
+    the store and generator versions, so a store hit is by construction
+    the same scene this function would build, mmap-loaded instead of
+    generated.  Loading happens inside the memo, so store-loaded scenes
+    carry the same per-process identity anchor as built ones.  Corrupt
+    or stale store entries degrade to a rebuild-and-rewrite, never to a
+    different scene.
     """
-    return make_benchmark_scene(
-        workload, num_frames=num_frames, seed=seed, draw_scale=draw_scale
-    )
+    from repro.scene.store import active_scene_store, build_scene_counted
+
+    store = active_scene_store()
+    if store is not None:
+        return store.get_or_build(workload, num_frames, seed, draw_scale)
+    return build_scene_counted(workload, num_frames, seed, draw_scale)
 
 
 #: The identity columns every tidy result record carries, in column

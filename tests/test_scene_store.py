@@ -1,0 +1,463 @@
+"""Vectorized scene construction and the compiled-scene store.
+
+Two contracts are pinned here.  First, the batched generator path
+(:meth:`SyntheticSceneGenerator.make_frame`) is bit-identical to the
+scalar reference path it replaced — every object, texture and viewport
+field compares equal with ``==`` and the RNG stream position matches,
+so no golden anywhere in the repo moves.  Second, the persistent
+compiled-scene store (:mod:`repro.scene.store`) round-trips scenes
+byte-exactly: a store-hit cell's ``SceneResult.to_dict`` is identical
+to a built-scene cell's, corrupt or stale entries degrade to a
+rebuild-and-rewrite, and concurrent writers are crash-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.scene.batch import ObjectBatch
+from repro.scene.store import (
+    SceneStore,
+    active_scene_store,
+    scene_key,
+    scene_store_scope,
+    set_scene_store,
+)
+from repro.scene.synthetic import (
+    GENERATOR_VERSION,
+    SceneProfile,
+    SyntheticSceneGenerator,
+)
+from repro.session.session import Session, Sweep
+from repro.session.spec import cached_scene
+
+BATCH_COLUMNS = (
+    "object_ids",
+    "num_vertices",
+    "num_triangles",
+    "vertex_bytes",
+    "vertex_buffer_bytes",
+    "depth_complexity",
+    "shader_complexity",
+    "coverage",
+    "left_area",
+    "right_area",
+    "has_left",
+    "has_right",
+    "tex_offsets",
+    "tex_ids",
+    "tex_sizes",
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_scene_memo():
+    """Isolate every test from the process-wide scene memo and store."""
+    cached_scene.cache_clear()
+    set_scene_store(None)
+    yield
+    cached_scene.cache_clear()
+    set_scene_store(None)
+
+
+def assert_objects_identical(ref, fast):
+    assert len(ref) == len(fast)
+    for a, b in zip(ref, fast):
+        assert a.object_id == b.object_id
+        assert a.name == b.name
+        assert a.mesh == b.mesh
+        assert a.textures == b.textures
+        assert a.viewport_left == b.viewport_left
+        assert a.viewport_right == b.viewport_right
+        assert a.depth_complexity == b.depth_complexity
+        assert a.shader_complexity == b.shader_complexity
+        assert a.coverage == b.coverage
+        assert a.depends_on == b.depends_on
+        assert a == b
+
+
+def assert_frames_identical(ref, fast):
+    assert (ref.width, ref.height, ref.frame_id) == (
+        fast.width,
+        fast.height,
+        fast.frame_id,
+    )
+    assert_objects_identical(ref.objects, fast.objects)
+    reference_batch = ObjectBatch.from_objects(ref.objects)
+    batch = fast.object_batch
+    for column in BATCH_COLUMNS:
+        want = getattr(reference_batch, column)
+        got = getattr(batch, column)
+        assert np.array_equal(want, got), column
+        assert want.dtype == got.dtype, column
+
+
+def rng_position(generator):
+    """The PCG64 stream position (ignores the uint32 half-buffer,
+    which the batched path shadows in Python rather than in the bit
+    generator — values drawn are identical either way)."""
+    return generator._rng.bit_generator.state["state"]["state"]
+
+
+class TestBatchedConstruction:
+    """Batched generation is bit-identical to the scalar reference."""
+
+    @pytest.mark.parametrize(
+        "workload", ["HL2-1280", "WE", "DM3-640", "NFS", "UT3"]
+    )
+    def test_benchmark_workloads_bit_identical(self, workload):
+        from repro.scene.benchmarks import parse_workload
+
+        spec, width, height = parse_workload(workload)
+        draws = max(8, int(round(spec.num_draws * 0.15)))
+        profile = SceneProfile(
+            **{
+                **vars(spec.profile),
+                "num_objects": draws,
+                "width": width,
+                "height": height,
+                "name": workload,
+            }
+        )
+        ref_gen = SyntheticSceneGenerator(profile, seed=2019)
+        fast_gen = SyntheticSceneGenerator(profile, seed=2019)
+        ref = ref_gen.make_scene_reference(num_frames=2)
+        fast = fast_gen.make_scene(num_frames=2)
+        assert ref.name == fast.name
+        for ref_frame, fast_frame in zip(ref.frames, fast.frames):
+            assert_frames_identical(ref_frame, fast_frame)
+        assert rng_position(ref_gen) == rng_position(fast_gen)
+
+    def test_random_profiles_bit_identical(self):
+        """Seeded property test: random generator parameters, including
+        the edge cases that exercise every branch of the RNG replica
+        (tiny material pools, zero-span texture counts, all-mono and
+        no-mono frames, single-object frames)."""
+        rng = np.random.default_rng(7)
+        for case in range(30):
+            num_materials = int(rng.integers(1, 40))
+            lo = int(rng.integers(1, 5))
+            hi = int(rng.integers(lo, min(lo + 6, num_materials + 3)))
+            profile = SceneProfile(
+                name=f"prop{case}",
+                num_objects=int(rng.integers(1, 40)),
+                width=int(rng.integers(64, 2048)),
+                height=int(rng.integers(64, 1200)),
+                triangles_median=float(rng.uniform(20, 4000)),
+                triangles_sigma=float(rng.uniform(0.1, 1.4)),
+                num_materials=num_materials,
+                material_zipf=float(rng.uniform(0.4, 1.6)),
+                textures_per_object=(lo, hi),
+                texture_bytes_median=float(rng.uniform(1e5, 4e6)),
+                texture_bytes_sigma=float(rng.uniform(0.2, 1.2)),
+                depth_complexity_mean=float(rng.uniform(1.0, 4.0)),
+                shader_complexity_mean=float(rng.uniform(0.5, 3.0)),
+                footprint_median=float(rng.uniform(0.001, 0.2)),
+                footprint_sigma=float(rng.uniform(0.2, 1.2)),
+                vertical_skew=float(rng.uniform(0.0, 0.95)),
+                max_disparity=float(rng.uniform(0.0, 0.1)),
+                mono_fraction=float(
+                    rng.choice([0.0, 0.95, rng.uniform(0.0, 1.0)])
+                ),
+                dependency_fraction=float(rng.uniform(0.0, 0.6)),
+            )
+            seed = int(rng.integers(0, 2**31))
+            ref_gen = SyntheticSceneGenerator(profile, seed=seed)
+            fast_gen = SyntheticSceneGenerator(profile, seed=seed)
+            for frame_id in range(2):
+                ref_frame = ref_gen.make_frame_reference(frame_id)
+                fast_frame = fast_gen.make_frame(frame_id)
+                assert_frames_identical(ref_frame, fast_frame)
+            assert rng_position(ref_gen) == rng_position(fast_gen)
+
+
+class TestSceneKey:
+    def test_key_is_stable_and_version_sensitive(self):
+        key = scene_key("HL2-1280", 2, 2019, 0.15)
+        assert key == scene_key("HL2-1280", 2, 2019, 0.15)
+        assert key != scene_key("HL2-1280", 3, 2019, 0.15)
+        assert key != scene_key("WE", 2, 2019, 0.15)
+        # The generator version is part of the address, so bumping it
+        # orphans (not corrupts) every existing entry.
+        assert len(key) == 64
+        assert GENERATOR_VERSION == 1
+
+
+class TestSceneStore:
+    def test_round_trip_is_exact(self, tmp_path):
+        store = SceneStore(tmp_path)
+        built = store.get_or_build("HL2-1280", 2, 2019, 0.15)
+        assert store.stats.misses == 1 and store.stats.stores == 1
+        loaded = store.get("HL2-1280", 2, 2019, 0.15)
+        assert loaded is not None
+        assert store.stats.hits == 1
+        assert loaded.name == built.name
+        for ref_frame, got_frame in zip(built.frames, loaded.frames):
+            assert_frames_identical(ref_frame, got_frame)
+
+    def test_loaded_scene_interns_textures(self, tmp_path):
+        store = SceneStore(tmp_path)
+        store.get_or_build("HL2-1280", 2, 2019, 0.15)
+        loaded = store.get("HL2-1280", 2, 2019, 0.15)
+        seen = {}
+        for frame in loaded.frames:
+            for obj in frame.objects:
+                for texture in obj.textures:
+                    assert (
+                        seen.setdefault(texture.texture_id, texture)
+                        is texture
+                    )
+
+    def test_store_is_byte_deterministic(self, tmp_path):
+        a = SceneStore(tmp_path / "a")
+        b = SceneStore(tmp_path / "b")
+        a.get_or_build("WE", 2, 2019, 0.15)
+        cached_scene.cache_clear()
+        b.get_or_build("WE", 2, 2019, 0.15)
+        (entry_a,) = a.entry_paths()
+        (entry_b,) = b.entry_paths()
+        assert entry_a.read_bytes() == entry_b.read_bytes()
+        # Re-serialising a *loaded* scene also reproduces the bytes, so
+        # a warm host re-storing never flips a shared directory.
+        loaded = b.get("WE", 2, 2019, 0.15)
+        b.put(loaded, "WE", 2, 2019, 0.15)
+        assert entry_a.read_bytes() == entry_b.read_bytes()
+
+    def test_corrupt_entry_degrades_to_rebuild_and_rewrite(self, tmp_path):
+        store = SceneStore(tmp_path)
+        store.get_or_build("HL2-1280", 2, 2019, 0.15)
+        (entry,) = store.entry_paths()
+        good = entry.read_bytes()
+        entry.write_bytes(good[: len(good) // 2])
+        cached_scene.cache_clear()
+        scene = store.get_or_build("HL2-1280", 2, 2019, 0.15)
+        assert scene is not None
+        assert store.stats.corrupt >= 1
+        assert entry.read_bytes() == good
+
+    def test_stale_entry_degrades_to_rebuild(self, tmp_path):
+        # An entry whose *content* belongs to another key (e.g. a file
+        # copied into the wrong address) is rejected, not trusted.
+        store = SceneStore(tmp_path)
+        store.get_or_build("WE", 2, 2019, 0.15)
+        (we_entry,) = store.entry_paths()
+        hl2_path = store.path_for(scene_key("HL2-1280", 2, 2019, 0.15))
+        hl2_path.write_bytes(we_entry.read_bytes())
+        cached_scene.cache_clear()
+        scene = store.get_or_build("HL2-1280", 2, 2019, 0.15)
+        assert scene.name == "HL2-1280"
+        assert store.stats.corrupt >= 1
+
+    def test_concurrent_writers_are_crash_safe(self, tmp_path):
+        store = SceneStore(tmp_path)
+        scene = store.get_or_build("HL2-1280", 2, 2019, 0.15)
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def writer():
+            try:
+                barrier.wait()
+                store.put(scene, "HL2-1280", 2, 2019, 0.15)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # No torn entries, no stray temp files.
+        assert [p.name for p in store.entry_paths()] == [
+            f"{scene_key('HL2-1280', 2, 2019, 0.15)}.scene"
+        ]
+        assert not list(store.root.glob("*.tmp"))
+        assert store.get("HL2-1280", 2, 2019, 0.15) is not None
+
+    def test_info_and_clear(self, tmp_path):
+        store = SceneStore(tmp_path)
+        store.get_or_build("HL2-1280", 2, 2019, 0.15)
+        info = store.info()
+        assert info["entries"] == 1
+        assert info["corrupt"] == 0
+        assert info["scenes"][0]["workload"] == "HL2-1280"
+        assert info["scenes"][0]["generator_version"] == GENERATOR_VERSION
+        assert store.clear() == 1
+        assert store.info()["entries"] == 0
+
+
+class TestStoreScoping:
+    def test_scope_activates_and_restores(self, tmp_path):
+        assert active_scene_store() is None
+        with scene_store_scope(tmp_path) as store:
+            assert isinstance(store, SceneStore)
+            assert active_scene_store() is store
+        assert active_scene_store() is None
+
+    def test_none_scope_preserves_ambient_store(self, tmp_path):
+        ambient = set_scene_store(tmp_path)
+        with scene_store_scope(None):
+            assert active_scene_store() is ambient
+
+    def test_set_accepts_paths_and_none(self, tmp_path):
+        store = set_scene_store(str(tmp_path))
+        assert isinstance(store, SceneStore)
+        assert set_scene_store(None) is None
+
+
+class TestStoreResults:
+    def test_store_hit_results_byte_identical(self, tmp_path):
+        plain = (
+            Session().framework("oo-vr").workload("HL2-1280").fast().run()
+        )
+        cached_scene.cache_clear()
+        cold = (
+            Session()
+            .framework("oo-vr")
+            .workload("HL2-1280")
+            .fast()
+            .run(scene_store=tmp_path)
+        )
+        cached_scene.cache_clear()
+        warm = (
+            Session()
+            .framework("oo-vr")
+            .workload("HL2-1280")
+            .fast()
+            .run(scene_store=tmp_path)
+        )
+        want = json.dumps(plain.to_dict(), sort_keys=True)
+        assert json.dumps(cold.to_dict(), sort_keys=True) == want
+        assert json.dumps(warm.to_dict(), sort_keys=True) == want
+
+    def test_store_hit_keeps_identity_anchor(self, tmp_path):
+        store = SceneStore(tmp_path)
+        with scene_store_scope(store):
+            first = cached_scene("HL2-1280", 2, 2019, 0.15)
+            second = cached_scene("HL2-1280", 2, 2019, 0.15)
+        # The memo, not the store, answers repeats — same object, so
+        # the reuse cache's frame-anchored artefacts stay shared.
+        assert first is second
+
+    def test_sweep_profile_exports_scene_counters(self, tmp_path):
+        records = (
+            Sweep()
+            .frameworks("oo-vr")
+            .workloads("HL2-1280")
+            .fast()
+            .run(profile=True, scene_store=tmp_path)
+            .to_records()
+        )
+        record = records[0]
+        assert record["profile_scene_store_miss"] == 1.0
+        assert record["profile_scene_objects_built"] > 0
+        assert record["profile_scene_frames_built"] == 2.0
+        assert record["profile_scene_build_s"] > 0
+        cached_scene.cache_clear()
+        warm = (
+            Sweep()
+            .frameworks("oo-vr")
+            .workloads("HL2-1280")
+            .fast()
+            .run(profile=True, scene_store=tmp_path)
+            .to_records()
+        )[0]
+        assert warm["profile_scene_store_hit"] == 1.0
+        assert warm["profile_scene_load_s"] > 0
+        assert "profile_scene_build_s" not in warm
+
+
+class TestSceneCLI:
+    def test_run_flag_aliases(self, capsys):
+        assert (
+            cli.main(
+                ["run", "--framework", "oo-vr", "--workload", "DM3-640",
+                 "--fast"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "single frame" in out
+
+    def test_run_mixed_positional_and_alias(self, capsys):
+        assert (
+            cli.main(["run", "oo-vr", "--workload", "DM3-640", "--fast"])
+            == 0
+        )
+        assert "single frame" in capsys.readouterr().out
+
+    def test_run_conflicting_names_error(self, capsys):
+        assert (
+            cli.main(
+                ["run", "oo-vr", "DM3-640", "--framework", "baseline",
+                 "--fast"]
+            )
+            == 2
+        )
+        assert "too many framework/workload names" in capsys.readouterr().err
+
+    def test_run_missing_names_error(self, capsys):
+        assert cli.main(["run", "oo-vr", "--fast"]) == 2
+        assert "needs a framework and a workload" in capsys.readouterr().err
+
+    def test_scene_warm_info_clear(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "scenes")
+        assert (
+            cli.main(
+                ["scene", "warm", store_dir, "--fast",
+                 "--workloads", "DM3-640"]
+            )
+            == 0
+        )
+        assert "compiled" in capsys.readouterr().out
+        cached_scene.cache_clear()
+        assert (
+            cli.main(
+                ["scene", "warm", store_dir, "--fast",
+                 "--workloads", "DM3-640"]
+            )
+            == 0
+        )
+        assert "already present" in capsys.readouterr().out
+        assert cli.main(["scene", "info", store_dir]) == 0
+        assert "DM3-640" in capsys.readouterr().out
+        assert cli.main(["scene", "info", store_dir, "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["entries"] == 1
+        assert cli.main(["scene", "clear", store_dir]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+
+    def test_scene_info_missing_directory(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope")
+        assert cli.main(["scene", "info", missing]) == 2
+        assert "no scene store" in capsys.readouterr().err
+
+    def test_run_scene_store_env_default(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("OOVR_SCENE_STORE", str(tmp_path / "env-store"))
+        assert cli.main(["run", "oo-vr", "DM3-640", "--fast"]) == 0
+        capsys.readouterr()
+        store = SceneStore(tmp_path / "env-store")
+        assert len(store.entry_paths()) == 1
+
+    def test_sweep_scene_store_csv_identical(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "scenes")
+        common = [
+            "sweep", "--frameworks", "baseline,oo-vr",
+            "--workloads", "DM3-640", "--fast",
+        ]
+        plain_csv = str(tmp_path / "plain.csv")
+        warm_csv = str(tmp_path / "warm.csv")
+        assert cli.main(common + ["--csv", plain_csv]) == 0
+        cached_scene.cache_clear()
+        assert (
+            cli.main(common + ["--scene-store", store_dir, "--csv", warm_csv])
+            == 0
+        )
+        capsys.readouterr()
+        with open(plain_csv, "rb") as a, open(warm_csv, "rb") as b:
+            assert a.read() == b.read()
