@@ -17,6 +17,9 @@ Every experiment command is a thin wrapper over the Session/Sweep API
     oovr sweep --fast --scene-store .oovr-scenes  # mmap compiled scenes
     oovr scene warm .oovr-scenes --fast   # pre-compile the suite
     oovr scene info .oovr-scenes          # store inventory
+    oovr sweep --fast --plan-store .oovr-plans  # mmap compiled work plans
+    oovr plan warm .oovr-plans --fast     # pre-characterize the suite
+    oovr plan info .oovr-plans            # plan-store inventory
     oovr sweep --fast --progress      # one line per completed cell
     oovr sweep --fast --shard 0/2 --cache shard0  # this host's slice
     oovr cache merge merged shard0 shard1  # gather scattered shards
@@ -167,6 +170,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         profile=args.profile,
         reuse=not args.no_reuse,
         scene_store=args.scene_store,
+        plan_store=args.plan_store,
     )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
@@ -242,6 +246,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # Built here (not inside Sweep.run) so the hit/miss stats of
         # this invocation can be reported below.
         scene_store = SceneStore(args.scene_store)
+    plan_store = None
+    if args.plan_store:
+        from repro.plan.store import PlanStore
+
+        plan_store = PlanStore(args.plan_store)
     if args.shard and not args.cache:
         print(
             "note: --shard without --cache computes this slice but "
@@ -278,6 +287,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         profile=args.profile,
         reuse=not args.no_reuse,
         scene_store=scene_store,
+        plan_store=plan_store,
     )
 
     from repro.stats.reporting import format_table
@@ -320,6 +330,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(
             f"scene store: {stats.hits} hits, {stats.misses} misses "
             f"-> {args.scene_store}"
+        )
+    if plan_store is not None:
+        stats = plan_store.stats
+        print(
+            f"plan store: {stats.hits} hits, {stats.misses} misses "
+            f"-> {args.plan_store}"
         )
     if args.csv:
         results.to_csv(args.csv)
@@ -460,6 +476,25 @@ def _cmd_cache_manifest(args: argparse.Namespace) -> int:
     return 0 if complete else 1
 
 
+def _resolve_store_dir(given: Optional[str], env_var: str, kind: str) -> str:
+    """The store directory of an info/clear subcommand.
+
+    The positional wins; without one the environment default the
+    run/sweep paths already honor (``$OOVR_SCENE_STORE`` /
+    ``$OOVR_PLAN_STORE``) applies, so ``oovr scene info`` inspects the
+    same store ``oovr sweep`` just used.  Neither given is a usage
+    error (exit 2 via :class:`SessionError`).
+    """
+    if given:
+        return given
+    from_env = os.environ.get(env_var)
+    if from_env:
+        return from_env
+    raise SessionError(
+        f"no {kind} store directory given and ${env_var} is not set"
+    )
+
+
 def _cmd_scene(args: argparse.Namespace) -> int:
     from repro.scene.store import SceneStore
 
@@ -473,9 +508,14 @@ def _cmd_scene(args: argparse.Namespace) -> int:
         seed = args.seed if args.seed is not None else experiment.seed
         for workload in names:
             before = store.stats.stores
-            scene = store.get_or_build(
-                workload, num_frames, seed, experiment.draw_scale
-            )
+            try:
+                scene = store.get_or_build(
+                    workload, num_frames, seed, experiment.draw_scale
+                )
+            except KeyError as error:
+                # Unknown workload names are usage errors (exit 2),
+                # not tracebacks.
+                raise SessionError(error.args[0]) from None
             status = "compiled" if store.stats.stores > before else "present"
             print(
                 f"  {workload:<12} {status}  "
@@ -486,12 +526,13 @@ def _cmd_scene(args: argparse.Namespace) -> int:
             f"{store.stats.hits} already present"
         )
         return 0
-    if not os.path.isdir(args.dir):
+    directory = _resolve_store_dir(args.dir, "OOVR_SCENE_STORE", "scene")
+    if not os.path.isdir(directory):
         # Inspection/maintenance must not create the directory a typo
         # names (SceneStore.__init__ would mkdir it).
-        print(f"error: no scene store at {args.dir}", file=sys.stderr)
+        print(f"error: no scene store at {directory}", file=sys.stderr)
         return 2
-    store = SceneStore(args.dir)
+    store = SceneStore(directory)
     if args.scene_command == "info":
         info = store.info()
         if getattr(args, "json", False):
@@ -513,7 +554,99 @@ def _cmd_scene(args: argparse.Namespace) -> int:
             )
         return 0
     removed = store.clear()
-    print(f"cleared {removed} compiled scene(s) from {args.dir}")
+    print(f"cleared {removed} compiled scene(s) from {directory}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.plan.store import PlanStore, plan_store_scope
+
+    if args.plan_command == "warm":
+        from repro.session.spec import cached_scene
+
+        store = PlanStore(args.dir)
+        experiment = _experiment(args)
+        workloads = (
+            _csv_list(args.workloads) if args.workloads else tuple(WORKLOADS)
+        )
+        frameworks = (
+            _csv_list(args.frameworks)
+            if args.frameworks
+            else tuple(framework_names())
+        )
+        num_frames = (
+            args.frames if args.frames is not None else experiment.num_frames
+        )
+        seed = args.seed if args.seed is not None else experiment.seed
+        with plan_store_scope(store):
+            for workload in workloads:
+                before = store.stats.stores
+                # cached_scene stamps the frames with their scene
+                # content key; warm_plan then runs the exact
+                # characterisation each framework's render path would,
+                # so every store entry is written by its consumer's own
+                # code path.
+                try:
+                    scene = cached_scene(
+                        workload, num_frames, seed, experiment.draw_scale
+                    )
+                    for name in frameworks:
+                        framework = build_framework(name)
+                        for frame in scene.frames:
+                            framework.warm_plan(frame)
+                except KeyError as error:
+                    # Unknown workload/framework names are usage
+                    # errors (exit 2), not tracebacks.
+                    raise SessionError(error.args[0]) from None
+                compiled = store.stats.stores - before
+                status = (
+                    f"compiled {compiled} plan(s)" if compiled else "present"
+                )
+                print(f"  {workload:<12} {status}")
+        print(
+            f"plan store {args.dir}: {store.stats.stores} compiled, "
+            f"{store.stats.hits} already present"
+        )
+        return 0
+    directory = _resolve_store_dir(args.dir, "OOVR_PLAN_STORE", "plan")
+    if not os.path.isdir(directory):
+        # Inspection/maintenance must not create the directory a typo
+        # names (PlanStore.__init__ would mkdir it).
+        print(f"error: no plan store at {directory}", file=sys.stderr)
+        return 2
+    store = PlanStore(directory)
+    if args.plan_command == "info":
+        info = store.info()
+        if getattr(args, "json", False):
+            print(json.dumps(info, indent=2))
+            return 0
+        print(f"plan store at {info['root']}:")
+        print(f"  entries     : {info['entries']}")
+        print(f"  corrupt     : {info['corrupt']}")
+        print(f"  total bytes : {info['total_bytes']}")
+        for plan in info["plans"]:
+            if plan.get("corrupt"):
+                print(f"  {plan['file']}: corrupt ({plan['bytes']} bytes)")
+                continue
+            if plan["kind"] == "frame":
+                detail = (
+                    f"mode={plan['mode']} expansion={plan['expansion']} "
+                    f"draws={plan['num_draws']}"
+                )
+            else:
+                detail = (
+                    f"cap={plan['triangle_limit']} "
+                    f"tsl={plan['tsl_threshold']:g} "
+                    f"batches={plan['num_batches']}"
+                )
+            print(
+                f"  {plan['key'][:12]} {plan['kind']:<6} "
+                f"scene={plan['scene'][:12]} cost={plan['cost'][:12]} "
+                f"{detail} ({plan['bytes']} bytes)"
+            )
+        return 0
+    removed = store.clear()
+    print(f"cleared {removed} compiled plan(s) from {directory}")
     return 0
 
 
@@ -556,6 +689,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             lease_limit=args.lease_limit,
             max_idle=args.max_idle,
             scene_store=args.scene_store,
+            plan_store=args.plan_store,
         )
     except ValueError as error:
         raise SessionError(str(error)) from None
@@ -773,6 +907,14 @@ def make_parser() -> argparse.ArgumentParser:
         "when already compiled, build-and-store otherwise (default: "
         "$OOVR_SCENE_STORE); results are byte-identical either way",
     )
+    run.add_argument(
+        "--plan-store", metavar="DIR",
+        default=os.environ.get("OOVR_PLAN_STORE"),
+        help="persistent compiled work-plan store: mmap-load frame "
+        "characterisation and batch grouping when already compiled, "
+        "build-and-store otherwise (default: $OOVR_PLAN_STORE); "
+        "results are byte-identical either way",
+    )
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser(
@@ -849,6 +991,14 @@ def make_parser() -> argparse.ArgumentParser:
         "mmap-loaded everywhere else (default: $OOVR_SCENE_STORE); "
         "records are byte-identical either way",
     )
+    sweep.add_argument(
+        "--plan-store", metavar="DIR",
+        default=os.environ.get("OOVR_PLAN_STORE"),
+        help="persistent compiled work-plan store shared by every "
+        "process of the sweep: each (workload, cost config) point is "
+        "characterised once and mmap-loaded everywhere else (default: "
+        "$OOVR_PLAN_STORE); records are byte-identical either way",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     cache = sub.add_parser(
@@ -915,7 +1065,10 @@ def make_parser() -> argparse.ArgumentParser:
     scene_info = scene_sub.add_parser(
         "info", help="store inventory (entries, workload points, bytes)"
     )
-    scene_info.add_argument("dir", help="scene store directory")
+    scene_info.add_argument(
+        "dir", nargs="?", default=None,
+        help="scene store directory (default: $OOVR_SCENE_STORE)",
+    )
     scene_info.add_argument(
         "--json", action="store_true",
         help="machine-readable inventory (SceneStore.info document)",
@@ -924,8 +1077,58 @@ def make_parser() -> argparse.ArgumentParser:
     scene_clear = scene_sub.add_parser(
         "clear", help="drop every compiled scene"
     )
-    scene_clear.add_argument("dir", help="scene store directory")
+    scene_clear.add_argument(
+        "dir", nargs="?", default=None,
+        help="scene store directory (default: $OOVR_SCENE_STORE)",
+    )
     scene_clear.set_defaults(func=_cmd_scene)
+
+    plan = sub.add_parser(
+        "plan", help="warm/inspect/clear compiled work-plan stores"
+    )
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+    plan_warm = plan_sub.add_parser(
+        "warm",
+        help="pre-characterise workload points into a store so later "
+        "runs and worker fleets mmap-load work plans instead of "
+        "re-running Eq. 3 and the batch grouping",
+    )
+    plan_warm.add_argument("dir", help="plan store directory (created)")
+    plan_warm.add_argument(
+        "--workloads",
+        help="comma-separated workload names (default: the full suite)",
+    )
+    plan_warm.add_argument(
+        "--frameworks",
+        help="comma-separated framework names whose plans to compile "
+        "(default: all registered)",
+    )
+    plan_warm.add_argument(
+        "--fast", action="store_true", help="scaled-down scenes"
+    )
+    plan_warm.add_argument("--frames", type=int, help="frames per scene")
+    plan_warm.add_argument("--seed", type=int, help="scene-generation seed")
+    plan_warm.set_defaults(func=_cmd_plan)
+    plan_info = plan_sub.add_parser(
+        "info", help="store inventory (entries, plan kinds, bytes)"
+    )
+    plan_info.add_argument(
+        "dir", nargs="?", default=None,
+        help="plan store directory (default: $OOVR_PLAN_STORE)",
+    )
+    plan_info.add_argument(
+        "--json", action="store_true",
+        help="machine-readable inventory (PlanStore.info document)",
+    )
+    plan_info.set_defaults(func=_cmd_plan)
+    plan_clear = plan_sub.add_parser(
+        "clear", help="drop every compiled plan"
+    )
+    plan_clear.add_argument(
+        "dir", nargs="?", default=None,
+        help="plan store directory (default: $OOVR_PLAN_STORE)",
+    )
+    plan_clear.set_defaults(func=_cmd_plan)
 
     trace = sub.add_parser("trace", help="capture/inspect/replay traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -1005,6 +1208,13 @@ def make_parser() -> argparse.ArgumentParser:
         help="persistent compiled-scene store for leased cells — a "
         "fleet sharing one directory compiles each workload point "
         "once (default: $OOVR_SCENE_STORE)",
+    )
+    worker.add_argument(
+        "--plan-store", metavar="DIR",
+        default=os.environ.get("OOVR_PLAN_STORE"),
+        help="persistent compiled work-plan store for leased cells — "
+        "a fleet sharing one directory characterises each (workload, "
+        "cost config) point once (default: $OOVR_PLAN_STORE)",
     )
     worker.set_defaults(func=_cmd_worker)
 

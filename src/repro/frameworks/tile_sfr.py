@@ -90,6 +90,9 @@ class TileSplitFrameRendering(RenderingFramework):
 
     # -- rendering -----------------------------------------------------------
 
+    def warm_plan(self, frame: Frame) -> None:
+        """No-op: tile SFR prices per draw and keeps no frame plan."""
+
     def _draw_stream(self, frame: Frame) -> List[Tuple[StereoDraw, SMPMode]]:
         if self.orientation is TileOrientation.VERTICAL:
             # SMP cannot span strips: two sequential per-eye passes.

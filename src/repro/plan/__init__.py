@@ -1,0 +1,25 @@
+"""Persistent compiled work-plan artifacts (:mod:`repro.plan.store`)."""
+
+from repro.plan.store import (
+    PLAN_VERSION,
+    PlanStore,
+    PlanStoreStats,
+    active_plan_store,
+    cost_fingerprint,
+    frame_plan_key,
+    group_plan_key,
+    plan_store_scope,
+    set_plan_store,
+)
+
+__all__ = [
+    "PLAN_VERSION",
+    "PlanStore",
+    "PlanStoreStats",
+    "active_plan_store",
+    "cost_fingerprint",
+    "frame_plan_key",
+    "group_plan_key",
+    "plan_store_scope",
+    "set_plan_store",
+]

@@ -31,10 +31,16 @@ __all__ = [
 ]
 
 #: The hot-path cost centres, in reporting order.  ``scene`` is scene
-#: construction (memoised per process, so repeat cells show ~0),
-#: ``bind`` the engine's memory-image resolution, ``price`` stage and
-#: memory pricing, ``execute`` everything else inside the render
-#: (dispatch, SMP, event simulation), ``cache`` result-cache I/O.
+#: construction (memoised per process, so repeat cells show ~0);
+#: ``bind`` covers middleware batch grouping and merging (the
+#: ``_BatchBuilder`` front end) plus the engine's memory-image
+#: resolution; ``price`` covers Eq. 3 frame characterisation plus the
+#: engine's stage/memory pricing; ``execute`` everything else inside
+#: the render (dispatch, SMP, event simulation); ``cache``
+#: result-cache I/O.  Compiled-plan store loads
+#: (:mod:`repro.plan.store`) deliberately stay *outside* bind/price —
+#: they surface as the ``plan_load_s`` counter — so a warm store
+#: genuinely shrinks those phases' share.
 PHASES = ("scene", "bind", "price", "execute", "cache")
 
 

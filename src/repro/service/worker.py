@@ -25,6 +25,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, Optional, Union
 
+from repro.plan.store import PlanStore, plan_store_scope
 from repro.scene.store import SceneStore, scene_store_scope
 from repro.service.client import ServiceClient, ServiceError
 from repro.session.cache import CacheMergeError, encode_entry, spec_key
@@ -49,6 +50,7 @@ class SweepWorker:
         retries: int = DEFAULT_RETRIES,
         client: Optional[ServiceClient] = None,
         scene_store: Optional[Union[SceneStore, str, Path]] = None,
+        plan_store: Optional[Union[PlanStore, str, Path]] = None,
     ) -> None:
         self.client = client or ServiceClient(server)
         self.name = name or f"{socket.gethostname()}-{os.getpid()}"
@@ -76,6 +78,14 @@ class SweepWorker:
             if isinstance(scene_store, SceneStore) or scene_store is None
             else SceneStore(scene_store)
         )
+        #: Optional compiled work-plan store (:mod:`repro.plan.store`):
+        #: a fleet sharing one directory characterises each (workload,
+        #: cost config) point once across hosts.
+        self.plan_store: Optional[PlanStore] = (
+            plan_store
+            if isinstance(plan_store, PlanStore) or plan_store is None
+            else PlanStore(plan_store)
+        )
         #: Cells executed and uploaded over this worker's lifetime.
         self.cells_done = 0
         self.leases_served = 0
@@ -88,7 +98,9 @@ class SweepWorker:
         specs = specs_from_wire(lease["specs"])
         # No cache here: the server's cache is the store of record and
         # already filtered hits out at submit time.
-        with scene_store_scope(self.scene_store):
+        with scene_store_scope(self.scene_store), plan_store_scope(
+            self.plan_store
+        ):
             results = self.executor.run(specs)
         entries = [
             {"key": spec_key(spec), "payload": encode_entry(spec, result)}

@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.config import SystemConfig
+from repro.plan.store import PlanStore, plan_store_scope
 from repro.profiling import PhaseProfile, capture, phase
 from repro.reuse import reuse_scope
 from repro.scene.scene import Scene
@@ -196,6 +197,7 @@ class Session(_ScaleMixin):
         profile: bool = False,
         reuse: bool = True,
         scene_store: Optional[Union[SceneStore, str, Path]] = None,
+        plan_store: Optional[Union[PlanStore, str, Path]] = None,
     ) -> SceneResult:
         """Execute the run and return its :class:`SceneResult`.
 
@@ -212,14 +214,20 @@ class Session(_ScaleMixin):
         ``scene_store`` (a :class:`~repro.scene.store.SceneStore` or a
         directory path) activates the persistent compiled-scene store
         for the run's duration: the scene is mmap-loaded from disk when
-        already compiled, built-and-stored otherwise.  Results are
-        byte-identical with the store cold, warm or absent.
+        already compiled, built-and-stored otherwise.  ``plan_store``
+        does the same for the compiled work-plan store
+        (:mod:`repro.plan.store`): Eq. 3 characterisation and the
+        middleware grouping are mmap-loaded when already compiled,
+        built-and-stored otherwise.  Results are byte-identical with
+        either store cold, warm or absent.
         """
         spec = self.spec()
         framework = spec.build()
         self.last_framework = framework
         self.last_profile = None
-        with reuse_scope(reuse), scene_store_scope(scene_store):
+        with reuse_scope(reuse), scene_store_scope(
+            scene_store
+        ), plan_store_scope(plan_store):
             if not profile:
                 return framework.render_scene(spec.scene())
             self.last_profile = PhaseProfile()
@@ -311,6 +319,7 @@ class Sweep(_ScaleMixin):
         profile: bool = False,
         reuse: bool = True,
         scene_store: Optional[Union[SceneStore, str, Path]] = None,
+        plan_store: Optional[Union[PlanStore, str, Path]] = None,
     ) -> ResultSet:
         """Execute the grid into a :class:`ResultSet`.
 
@@ -369,6 +378,15 @@ class Sweep(_ScaleMixin):
         backend forwards the store path to its workers so a ``jobs=N``
         sweep compiles each workload point once instead of N times.
         Records are byte-identical with the store cold, warm or absent.
+
+        ``plan_store`` (a :class:`~repro.plan.store.PlanStore` or a
+        directory path) does the same for the compiled work-plan store
+        (:mod:`repro.plan.store`): Eq. 3 frame characterisation and the
+        middleware batch grouping are mmap-loaded per (workload, cost
+        config) point when already compiled, built-and-stored
+        otherwise, and the process backend forwards the store path so a
+        ``jobs=N`` sweep characterises each point once fleet-wide.
+        Records are byte-identical with the store cold, warm or absent.
         """
         if jobs < 1:
             raise SessionError("jobs must be at least 1")
@@ -385,7 +403,9 @@ class Sweep(_ScaleMixin):
             backend: SweepExecutor = ProfilingSerialExecutor()
         else:
             backend = make_executor(executor, jobs=jobs, shard=shard)
-        with reuse_scope(reuse), scene_store_scope(scene_store):
+        with reuse_scope(reuse), scene_store_scope(
+            scene_store
+        ), plan_store_scope(plan_store):
             results = backend.run(specs, cache=cache, on_result=on_result)
         if len(results) != len(specs):
             raise SessionError(

@@ -96,12 +96,28 @@ def cached_scene(
     or stale store entries degrade to a rebuild-and-rewrite, never to a
     different scene.
     """
-    from repro.scene.store import active_scene_store, build_scene_counted
+    from repro.plan.store import CONTENT_KEY_ATTR
+    from repro.scene.store import (
+        active_scene_store,
+        build_scene_counted,
+        scene_key,
+    )
 
     store = active_scene_store()
     if store is not None:
-        return store.get_or_build(workload, num_frames, seed, draw_scale)
-    return build_scene_counted(workload, num_frames, seed, draw_scale)
+        scene = store.get_or_build(workload, num_frames, seed, draw_scale)
+    else:
+        scene = build_scene_counted(workload, num_frames, seed, draw_scale)
+    # Stamp each frame with its scene-content key so the compiled-plan
+    # store (:mod:`repro.plan.store`) can address frame-derived plans by
+    # content.  The key rides on scene_key — which folds in
+    # GENERATOR_VERSION — so regenerating scenes re-keys their plans
+    # too.  Frames from trace replays or hand-built scenes never get the
+    # stamp, which leaves the plan store inert for them.
+    content = scene_key(workload, num_frames, seed, draw_scale)
+    for frame in scene.frames:
+        frame.__dict__[CONTENT_KEY_ATTR] = f"{content}:{frame.frame_id}"
+    return scene
 
 
 #: The identity columns every tidy result record carries, in column

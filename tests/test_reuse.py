@@ -141,6 +141,18 @@ class TestReuseTransparency:
             == session.run(reuse=False).to_dict()
         )
 
+    def test_eviction_never_changes_results(self, monkeypatch):
+        """A pathologically tiny memo evicts constantly, yet the sweep's
+        CSV is byte-identical — eviction only costs rebuild time."""
+        baseline = shared_grid().run(reuse=False).to_csv()
+        monkeypatch.setattr(reuse, "_cache", reuse.ReuseCache(max_entries=1))
+        evicting = shared_grid().run().to_csv()
+        cache = reuse.get_cache()
+        assert len(cache) <= 1  # the cap held
+        hits, misses = cache.stats.snapshot()
+        assert misses > 2  # evictions forced rebuilds of live keys
+        assert evicting == baseline
+
     def test_shared_workload_grid_actually_hits(self):
         """Cells sharing a workload reuse its frame-derived artefacts."""
         reuse.get_cache().clear()
